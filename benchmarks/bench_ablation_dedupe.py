@@ -1,0 +1,79 @@
+"""Ablation: continuation fingerprinting (state-graph vs schedule-tree).
+
+DESIGN.md's checker collapses the exponential schedule *tree* into the
+reachable state *graph* by fingerprinting thread continuations
+structurally (code identity + captured cells).  This ablation measures
+the collapse on the flat combiner's push‖pop composition — the worst
+case among the case studies, since its wait loop alternates two actions
+and defeats the simpler stutter pruning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prog import par
+from repro.core.world import World
+from repro.heap import ptr
+from repro.semantics.explore import explore
+from repro.semantics.interp import initial_config
+from repro.structures.flat_combiner import FlatCombiner, initial_state
+from repro.structures.flat_combiner_verify import SLOT_A, SLOT_B, scenario_concurroid
+
+from conftest import emit
+
+_RESULTS: dict[str, int] = {}
+
+#: Depth at which the undeduped tree is still enumerable in reasonable time.
+TREE_DEPTH = 20
+
+
+def _config():
+    conc = scenario_concurroid()
+    fc = FlatCombiner(conc)
+    prog = par(
+        fc.flat_combine(SLOT_A, "push", 1),
+        fc.flat_combine(SLOT_B, "pop", None),
+    )
+    return initial_config(World((conc,)), initial_state(conc), prog)
+
+
+def test_with_dedupe(benchmark):
+    def run():
+        result = explore(_config(), max_steps=200, max_configs=2_000_000, dedupe=True)
+        assert result.ok
+        assert not result.truncated  # converged: the state space is finite
+        return result.explored
+
+    _RESULTS["dedupe"] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_without_dedupe(benchmark):
+    def run():
+        result = explore(
+            _config(), max_steps=TREE_DEPTH, max_configs=2_000_000, dedupe=False
+        )
+        assert result.ok
+        return result.explored
+
+    _RESULTS["tree"] = benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_render_ablation(benchmark, out_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Ablation — continuation fingerprinting (FC push || pop):"]
+    if "dedupe" in _RESULTS:
+        lines.append(
+            f"  state graph (deduped, depth unbounded): {_RESULTS['dedupe']:>9} configs"
+        )
+    if "tree" in _RESULTS:
+        lines.append(
+            f"  schedule tree (no dedupe, depth {TREE_DEPTH}):    {_RESULTS['tree']:>9} configs"
+        )
+    if "dedupe" in _RESULTS and "tree" in _RESULTS:
+        assert _RESULTS["dedupe"] < _RESULTS["tree"]
+        lines.append(
+            f"  collapse factor at depth {TREE_DEPTH}:            "
+            f"{_RESULTS['tree'] / _RESULTS['dedupe']:>9.0f}x (unbounded depth: infinite)"
+        )
+    emit(out_dir, "ablation_dedupe.txt", "\n".join(lines))

@@ -1,0 +1,34 @@
+"""Figure 2 — stages of the concurrent spanning-tree construction (§2.1).
+
+Replays ``span`` on the figure's five-node graph a–e, reconstructs the
+stage sequence from the execution trace, renders it, and checks the
+per-panel invariants (monotone marking, black ⊆ grey, redundant edges
+cut, all nodes marked at the end).  Randomized schedules produce
+*different* stage sequences — the benchmark checks they all end in a
+spanning tree, which is the figure's point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figure2 import check_figure2_invariants, render, replay_figure2
+
+from conftest import emit
+
+
+def test_figure2_deterministic(benchmark, out_dir):
+    stages, post_ok = benchmark.pedantic(replay_figure2, rounds=3, iterations=1)
+    assert post_ok
+    issues = check_figure2_invariants(stages)
+    assert not issues, issues
+    emit(out_dir, "figure2.txt", render(stages))
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_figure2_random_schedules(benchmark, seed):
+    stages, post_ok = benchmark.pedantic(
+        lambda: replay_figure2(seed=seed), rounds=1, iterations=1
+    )
+    assert post_ok
+    assert not check_figure2_invariants(stages)

@@ -1,0 +1,32 @@
+"""Figure 5 — dependencies between concurrent libraries (§6).
+
+Derives the dependency edges from the registry, checks the set equals the
+paper's figure exactly, checks acyclicity, and renders the diagram (as an
+edge list plus a topological order).
+"""
+
+from __future__ import annotations
+
+from repro.eval.figure5 import diff_against_paper, figure5_edges, is_dag, render, topological_order
+
+from conftest import emit
+
+
+def test_figure5_edges(benchmark, out_dir):
+    edges = benchmark(figure5_edges)
+    missing, extra = diff_against_paper()
+    assert not missing and not extra, (missing, extra)
+    assert is_dag(edges)
+    emit(out_dir, "figure5.txt", render())
+
+
+def test_figure5_layering():
+    order = topological_order(figure5_edges())
+    position = {node: i for i, node in enumerate(order)}
+    # Locks before the interface, the interface before every client.
+    assert position["CAS-lock"] < position["Abstract lock"]
+    assert position["Ticketed lock"] < position["Abstract lock"]
+    assert position["Abstract lock"] < position["CG Allocator"]
+    assert position["CG Allocator"] < position["Treiber stack"]
+    assert position["Treiber stack"] < position["Sequential stack"]
+    assert position["Flat combiner"] < position["FC stack"]

@@ -1,0 +1,29 @@
+"""Table 2 — the concurroid reuse matrix (§6).
+
+Benchmarks the derivation of the matrix from the registry (trivially
+fast — the point is the artifact) and asserts a cell-by-cell match with
+the paper's table, including the ✓L lock-interchangeability marks.
+"""
+
+from __future__ import annotations
+
+from repro.eval.table2 import build_table2, diff_against_paper, render
+
+from conftest import emit
+
+
+def test_table2_matrix(benchmark, out_dir):
+    matrix = benchmark(build_table2)
+    assert len(matrix) == 11
+    emit(out_dir, "table2.txt", render())
+    assert diff_against_paper() == []
+
+
+def test_lock_interface_marks():
+    matrix = build_table2()
+    for client in ("CG increment", "CG allocator", "Treiber stack", "Seq. stack"):
+        assert matrix[client]["CLock"] == "lock-interface"
+        assert matrix[client]["TLock"] == "lock-interface"
+    # The two locks use their own concurroids directly.
+    assert matrix["CAS-lock"]["CLock"] == "yes"
+    assert matrix["Ticketed lock"]["TLock"] == "yes"

@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper's evaluation
+(§6) or an ablation called out in DESIGN.md.  Rendered artifacts are
+written under ``benchmarks/out/`` and echoed to stdout (run with ``-s``
+to see them inline).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Write a rendered artifact and echo it."""
+    path = out_dir / name
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)

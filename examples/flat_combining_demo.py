@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Flat combining: higher-order specs and the helping pattern (§4.2).
+
+Shows the three headline features of the paper's FC case study:
+
+1. **higher-order**: the combiner is parametrized by an arbitrary
+   sequential structure — we instantiate it with a stack, a counter, and
+   an ad-hoc string structure defined on the spot;
+2. **helping**: one thread physically executes another's request; the
+   trace shows it, and the receipt mechanism still ascribes the effect to
+   the requesting thread (its ``self`` history gets the entry);
+3. **same spec as a real concurrent stack**: the FC-stack satisfies
+   Treiber-shaped history specs.
+
+Run:  python examples/flat_combining_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import World
+from repro.core.prog import par, seq
+from repro.heap import ptr
+from repro.semantics import initial_config, run_deterministic, run_random
+from repro.structures.fc_stack import FCStack
+from repro.structures.flat_combiner import (
+    FlatCombiner,
+    FlatCombinerConcurroid,
+    SeqStructure,
+    initial_state,
+    seq_counter,
+    seq_stack,
+)
+
+SLOT_A, SLOT_B = ptr(72), ptr(73)
+
+
+def higher_order_demo() -> None:
+    print("=" * 72)
+    print("Higher-order instantiation: three sequential structures, one combiner")
+    print("=" * 72)
+    instances = [
+        (seq_stack(), [("push", 1), ("push", 2), ("pop", None)]),
+        (seq_counter(), [("add", 1), ("add", 1), ("add", 1)]),
+        (
+            SeqStructure("string-log", "", {"append": lambda s, a: (len(s), s + a)}),
+            [("append", "x"), ("append", "y")],
+        ),
+    ]
+    for structure, script in instances:
+        conc = FlatCombinerConcurroid(structure, slots=(SLOT_A,), max_ops=4, arg_domain=(1,))
+        fc = FlatCombiner(conc)
+        prog = seq(*[fc.flat_combine(SLOT_A, op, arg) for op, arg in script])
+        final = run_deterministic(initial_config(World((conc,)), initial_state(conc), prog))
+        print(
+            f"  {structure.name:<12} script={script!r:<50} "
+            f"last result={final.result!r} final state={conc.ds_value(final.view_for(0))!r}"
+        )
+
+
+def helping_demo() -> None:
+    print()
+    print("=" * 72)
+    print("Helping: the combiner executes a peer's request")
+    print("=" * 72)
+    rng = random.Random(6)
+    conc = FlatCombinerConcurroid(seq_stack(), slots=(SLOT_A, SLOT_B), max_ops=4)
+    fc = FlatCombiner(conc)
+    for __ in range(200):
+        prog = par(
+            fc.flat_combine(SLOT_A, "push", 1),
+            fc.flat_combine(SLOT_B, "pop", None),
+        )
+        final, violations = run_random(
+            initial_config(World((conc,)), initial_state(conc), prog), rng, max_steps=600
+        )
+        assert not violations and final is not None
+        slot_owner: dict = {}
+        helped_event = None
+        for event in final.trace or ():
+            if event.kind != "act":
+                continue
+            if event.detail.endswith("try_acquire_slot") and event.result:
+                slot_owner[event.args[0]] = event.tid
+            if event.detail.endswith(".help"):
+                owner = slot_owner.get(event.args[0])
+                if owner is not None and owner != event.tid:
+                    helped_event = (event.tid, owner, event.args[0])
+        if helped_event:
+            combiner, requester, slot = helped_event
+            print(f"  found a helped schedule: t{combiner} (combiner) executed "
+                  f"t{requester}'s request in slot {slot!r}")
+            print("  trace:")
+            for event in final.trace:
+                if event.kind == "act":
+                    print(f"    {event}")
+            h = conc.my_contrib(final.view_for(0))
+            print(f"  ...yet both receipts land in the requesters' history: {h!r}")
+            return
+    raise SystemExit("no helped schedule found (unexpected)")
+
+
+def fc_stack_spec_demo() -> None:
+    print()
+    print("=" * 72)
+    print("FC-stack satisfies the same history specs as the Treiber stack")
+    print("=" * 72)
+    from repro.core import Scenario
+    from repro.core.verify import check_triple, triple_issues
+
+    stack = FCStack()
+    for spec, prog, label in (
+        (stack.push_spec(1), stack.push(stack.slots[0], 1), "push 1"),
+        (stack.pop_spec(), stack.pop(stack.slots[0]), "pop (empty)"),
+    ):
+        outcomes = check_triple(
+            stack.world(),
+            spec,
+            [Scenario(stack.initial_state(), prog, label=label)],
+            max_steps=60,
+            env_budget=2,
+        )
+        issues = triple_issues(outcomes)
+        assert not issues, issues
+        print(f"  {label:<12} {spec.name:<22} verified over "
+              f"{outcomes[0].explored} configurations (with interference)")
+
+
+if __name__ == "__main__":
+    higher_order_demo()
+    helping_demo()
+    fc_stack_spec_demo()
+    print("\nflat-combining demos complete.")

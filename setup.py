@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has no ``wheel`` package, so PEP-660 editable
+installs (``pip install -e .``) fall back to this legacy path:
+``python setup.py develop`` works without building a wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — mechanized verification of fine-grained concurrent programs.
+
+A Python reproduction of Sergey, Nanevski & Banerjee,
+*Mechanized Verification of Fine-grained Concurrent Programs* (PLDI 2015):
+the FCSL methodology — partial commutative monoids for thread
+contributions, concurroids (state-transition systems) for protocols,
+subjective ``[self | joint | other]`` state, atomic actions erasing to
+single RMWs, interference-stable specifications, and the ``hide``
+constructor — realized as an embedded DSL whose proof obligations are
+discharged by exhaustive finite-model checking instead of a dependent
+type theory (see DESIGN.md for the substitution argument).
+
+Package map:
+
+* :mod:`repro.pcm`        — the PCM catalogue (§6's algebra column);
+* :mod:`repro.heap`       — union-map heaps and pointers;
+* :mod:`repro.graphs`     — heap-represented graphs and §3.2's lemmas;
+* :mod:`repro.core`       — states, concurroids, actions, programs,
+  specs, stability, metatheory and triple checking, annotations;
+* :mod:`repro.semantics`  — the interleaving interpreter and explorers;
+* :mod:`repro.linearize`  — Herlihy–Wing linearizability checking;
+* :mod:`repro.structures` — the eleven case studies of Table 1;
+* :mod:`repro.eval`       — regeneration of Tables 1–2, Figures 2 & 5.
+"""
+
+__version__ = "1.0.0"

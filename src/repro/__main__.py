@@ -1,0 +1,6 @@
+"""``python -m repro`` — run the full evaluation (Tables 1-2, Figures 2 & 5)."""
+
+from .eval.report import main
+
+if __name__ == "__main__":
+    main()

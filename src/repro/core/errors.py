@@ -1,0 +1,42 @@
+"""Error taxonomy of the verification framework.
+
+Each exception class corresponds to a kind of proof failure FCSL's
+typechecker would report: an action applied outside its safety
+precondition, a state outside a concurroid's coherence predicate, an
+assertion unstable under interference, or a spec that does not hold.
+"""
+
+from __future__ import annotations
+
+
+class VerificationError(Exception):
+    """Base class for all verification failures."""
+
+
+class CrashError(VerificationError):
+    """A program step faulted: an atomic action was applied in a state where
+    its safety predicate (the paper's "natural safety", §5.1 fn. 5) fails."""
+
+
+class CoherenceViolation(VerificationError):
+    """A reached state falls outside a concurroid's coherence predicate."""
+
+
+class StabilityViolation(VerificationError):
+    """An assertion ascribed to a program is not invariant under environment
+    steps — the error class the paper highlights as easiest for a human
+    prover to make (§1)."""
+
+
+class SpecViolation(VerificationError):
+    """A terminal state fails the ascribed postcondition, or an initial
+    state satisfying the precondition leads to a fault."""
+
+
+class MetatheoryViolation(VerificationError):
+    """A concurroid or action fails one of the FCSL metatheory side
+    conditions (fork-join closure, other-preservation, erasure, ...)."""
+
+
+class ProgramError(VerificationError):
+    """Malformed program construction (e.g. joining a thread twice)."""

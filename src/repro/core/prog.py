@@ -1,0 +1,225 @@
+"""The FCSL program DSL (Figure 3).
+
+Programs are first-class immutable values built from the monadic
+combinators of FCSL's embedding: ``ret``, ``bind``, atomic-action
+invocation, parallel composition ``par``, the fixpoint ``ffix`` and the
+interference-hiding constructor ``hide``.  Conditionals and pattern
+matching are host-level (any Python expression that *builds* a program),
+mirroring "any Coq program is also a valid FCSL program".
+
+Recursive calls are wrapped in :class:`Call` thunks so program
+construction is lazy: the body of a recursive function is only built when
+the interpreter reaches the call (otherwise ``span`` on a cyclic graph
+would never finish *constructing*, let alone running).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..heap import Heap
+from .action import Action
+from .concurroid import Concurroid
+
+
+class Prog:
+    """Base class of program syntax nodes."""
+
+    __slots__ = ()
+
+
+class Ret(Prog):
+    """``ret v`` — the trivial computation returning ``v``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Ret({self.value!r})"
+
+
+class Bind(Prog):
+    """``x <-- first; cont x`` — sequential composition."""
+
+    __slots__ = ("first", "cont")
+
+    def __init__(self, first: Prog, cont: Callable[[Any], Prog]):
+        if not isinstance(first, Prog):
+            raise TypeError(f"bind expects a program, got {first!r}")
+        self.first = first
+        self.cont = cont
+
+    def __repr__(self) -> str:
+        return f"Bind({self.first!r}, <cont>)"
+
+
+class ActCall(Prog):
+    """Invocation of an atomic action."""
+
+    __slots__ = ("action", "args")
+
+    def __init__(self, action: Action, args: tuple):
+        self.action = action
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"Act({self.action.name}{self.args!r})"
+
+
+class Par(Prog):
+    """``par e1 e2`` — run both, return the pair of results (Fig. 3's
+    ``rs <-- par (loop xl) (loop xr)``)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Prog, right: Prog):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"Par({self.left!r}, {self.right!r})"
+
+
+class Call(Prog):
+    """A lazily-expanded call; the interpreter replaces it by ``fn(*args)``."""
+
+    __slots__ = ("fn", "args", "label")
+
+    def __init__(self, fn: Callable[..., Prog], args: tuple = (), label: str = "call"):
+        self.fn = fn
+        self.args = args
+        self.label = label
+
+    def expand(self) -> Prog:
+        body = self.fn(*self.args)
+        if not isinstance(body, Prog):
+            raise TypeError(f"{self.label} must produce a program, got {body!r}")
+        return body
+
+    def __repr__(self) -> str:
+        return f"Call({self.label}{self.args!r})"
+
+
+class HideProg(Prog):
+    """``hide Φ,g { body }`` — scoped concurroid installation (§3.5).
+
+    ``donate`` selects, out of the current thread's private heap, the
+    portion Φ describes — returning ``(parts, kept)`` where ``parts`` maps
+    each of the installed concurroid's labels to its joint component and
+    ``kept`` is the private remainder.  ``initial_selfs`` gives the
+    thread's initial auxiliary ``self`` per label; every ``other`` is
+    fixed to the PCM unit — no external interference.  The installed
+    concurroid may own several labels (an entanglement, e.g. hiding a
+    Treiber stack together with its allocator).  Operationally a no-op:
+    the real heap is unchanged, only its logical ownership moves.
+    """
+
+    __slots__ = ("concurroid", "donate", "initial_selfs", "body", "priv_label", "reclaim")
+
+    def __init__(
+        self,
+        concurroid: Concurroid,
+        donate: Callable[[Heap], tuple[dict[str, Any], Heap]],
+        initial_selfs: dict[str, Any],
+        body: Prog,
+        priv_label: str = "pv",
+        reclaim: Callable[[dict[str, Any]], Heap] | None = None,
+    ):
+        self.concurroid = concurroid
+        self.donate = donate
+        self.initial_selfs = dict(initial_selfs)
+        self.body = body
+        self.priv_label = priv_label
+        #: Optional projection of the hidden joints back to a heap on
+        #: exit; default: join every heap-valued joint.
+        self.reclaim = reclaim
+
+    def __repr__(self) -> str:
+        return f"Hide({self.concurroid!r}, {self.body!r})"
+
+
+def hide(
+    concurroid: Concurroid,
+    donate_heap: Callable[[Heap], tuple[Heap, Heap]],
+    initial_self: Any,
+    body: Prog,
+    priv_label: str = "pv",
+) -> HideProg:
+    """Single-label convenience form of :class:`HideProg` (the common case,
+    e.g. ``span_root``): donate one heap as the lone label's joint."""
+    label = concurroid.label
+
+    def donate(h: Heap) -> tuple[dict[str, Any], Heap]:
+        donated, kept = donate_heap(h)
+        return {label: donated}, kept
+
+    return HideProg(concurroid, donate, {label: initial_self}, body, priv_label)
+
+
+# -- combinators ------------------------------------------------------------------
+
+
+def ret(value: Any = None) -> Ret:
+    return Ret(value)
+
+
+def bind(first: Prog, cont: Callable[[Any], Prog]) -> Bind:
+    return Bind(first, cont)
+
+
+def act(action: Action, *args: Any) -> ActCall:
+    return ActCall(action, args)
+
+
+def par(left: Prog, right: Prog) -> Par:
+    return Par(left, right)
+
+
+def seq(*progs: Prog) -> Prog:
+    """``e1 ;; e2 ;; ...`` — sequencing that discards intermediate values
+    and returns the last program's value."""
+    if not progs:
+        return Ret(None)
+    if len(progs) == 1:
+        return progs[0]
+    head, rest = progs[0], progs[1:]
+    return Bind(head, lambda __: seq(*rest))
+
+
+def ffix(gen: Callable[[Callable[..., Prog]], Callable[..., Prog]], label: str = "ffix") -> Callable[..., Prog]:
+    """The fixpoint combinator: ``ffix (fun loop => fun x => Do(...))``.
+
+    Returns a function from arguments to programs whose recursive
+    occurrences are :class:`Call` thunks, expanded on demand.
+    """
+
+    def rec(*args: Any) -> Prog:
+        return Call(lambda *a: gen(rec)(*a), args, label=label)
+
+    return rec
+
+
+def cond(test: bool, then_prog: Prog, else_prog: Prog) -> Prog:
+    """Host-level conditional, for symmetry with Fig. 3's ``if``."""
+    return then_prog if test else else_prog
+
+
+def prog_of_value(fn: Callable[..., Any], *args: Any, label: str = "pure") -> Prog:
+    """Lift a pure host computation into a (single administrative step)
+    program; used sparingly where the paper uses native Coq expressions."""
+    return Call(lambda *a: Ret(fn(*a)), args, label=label)
+
+
+def flatten_progs(progs: Sequence[Prog]) -> Prog:
+    """``par`` over a list (left-nested), returning the tuple of results."""
+    if not progs:
+        return Ret(())
+    if len(progs) == 1:
+        return Bind(progs[0], lambda v: Ret((v,)))
+    head, rest = progs[0], progs[1:]
+    return Bind(
+        Par(head, flatten_progs(rest)),
+        lambda pair: Ret((pair[0],) + pair[1]),
+    )

@@ -1,0 +1,113 @@
+"""Stability checking: invariance of assertions under interference.
+
+§2.2.3: "every thread-local assertion about a fine-grained data structure's
+state should be *stable*, i.e., invariant under possible concurrent
+modifications of the resource", and every spec ascribed in FCSL must be
+stable "or else it won't be possible to ascribe it to a program".
+
+The checker explores the closure of a state family under environment
+steps (the transposed transitions of the governing concurroid(s)) and
+reports every state where a purportedly-stable assertion breaks, together
+with the interference path that broke it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .concurroid import Concurroid
+from .errors import StabilityViolation
+from .state import State
+
+Assertion = Callable[[State], bool]
+
+
+@dataclass(frozen=True)
+class StabilityIssue:
+    """A counterexample to stability: the assertion held at ``start`` but
+    fails at ``broken`` after ``path`` environment steps."""
+
+    assertion: str
+    start: State
+    broken: State
+    path: int
+
+    def __str__(self) -> str:
+        return (
+            f"assertion {self.assertion!r} unstable: holds at {self.start!r} "
+            f"but fails after {self.path} environment step(s) at {self.broken!r}"
+        )
+
+
+def env_closure(
+    conc: Concurroid,
+    state: State,
+    *,
+    max_states: int = 5_000,
+) -> set[State]:
+    """All states reachable from ``state`` by environment steps (incl. it)."""
+    seen = {state}
+    frontier = deque([state])
+    while frontier:
+        current = frontier.popleft()
+        for succ in conc.env_moves(current):
+            if succ not in seen:
+                if len(seen) >= max_states:
+                    raise StabilityViolation(
+                        f"environment closure exceeded {max_states} states; "
+                        "shrink the model"
+                    )
+                seen.add(succ)
+                frontier.append(succ)
+    return seen
+
+
+def check_stability(
+    assertion: Assertion,
+    name: str,
+    conc: Concurroid,
+    states: Iterable[State],
+    *,
+    max_states: int = 5_000,
+    max_issues: int = 5,
+) -> list[StabilityIssue]:
+    """Check ``assertion`` stable from every state in ``states`` where it
+    holds (and which is coherent)."""
+    issues: list[StabilityIssue] = []
+    for start in states:
+        if not conc.coherent(start) or not assertion(start):
+            continue
+        seen = {start: 0}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for succ in conc.env_moves(current):
+                if succ in seen:
+                    continue
+                if len(seen) >= max_states:
+                    raise StabilityViolation(
+                        f"stability exploration for {name!r} exceeded {max_states} states"
+                    )
+                seen[succ] = seen[current] + 1
+                if not assertion(succ):
+                    issues.append(StabilityIssue(name, start, succ, seen[succ]))
+                    if len(issues) >= max_issues:
+                        return issues
+                    continue  # don't explore past a broken state
+                frontier.append(succ)
+    return issues
+
+
+def assert_stable(
+    assertion: Assertion,
+    name: str,
+    conc: Concurroid,
+    states: Iterable[State],
+    **kwargs,
+) -> None:
+    """Raise :class:`StabilityViolation` with counterexamples if unstable."""
+    issues = check_stability(assertion, name, conc, states, **kwargs)
+    if issues:
+        raise StabilityViolation("\n".join(str(i) for i in issues))

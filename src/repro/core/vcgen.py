@@ -1,0 +1,179 @@
+"""Verification-condition machinery: annotations and spec weakening (§5.2).
+
+FCSL verification proceeds by CPS-style symbolic evaluation: the ``step``
+lemma peels one command at a time, each intermediate point carrying a
+stable assertion, and the final obligation weakens the synthesized
+strongest spec into the ascribed one.  This module provides the
+executable counterparts:
+
+* :func:`annotate` — embeds a Floyd-style intermediate assertion into a
+  program as an *assertion probe*: an idle pseudo-action that faults when
+  the predicate fails on the current thread's subjective view.  Because
+  probes are ordinary atomic steps, every exploration checks every
+  annotation on every interleaving — and because the view is subjective,
+  the annotation must be *stable* to survive (an unstable one will be
+  falsified by some scheduling of interference, exactly as in FCSL).
+* :func:`check_weakening` / :func:`check_weakening_on_runs` — the rule of
+  consequence: a verified stronger spec entails an ascribed weaker one.
+  The paper's §3.5 example (weakening ``span_tp`` into ``span_root_tp``
+  under the closed-world assumption) is checked this way in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from .action import Action
+from .concurroid import Concurroid
+from .prog import ActCall, Prog, act
+from .spec import Scenario, Spec
+from .state import State
+from .world import World
+
+Assertion = Callable[[State], bool]
+
+
+class _ProbeConcurroid(Concurroid):
+    """A labelless pseudo-concurroid backing assertion probes."""
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return ()
+
+    def coherent(self, state: State) -> bool:
+        return True
+
+    def transitions(self):
+        return ()
+
+
+_PROBE_CONCURROID = _ProbeConcurroid()
+
+
+class AssertionProbe(Action):
+    """An idle action whose *safety* is the annotated assertion.
+
+    Running it in a state where the assertion fails is a fault — reported
+    by the explorer with the interfering schedule that broke it.
+    """
+
+    def __init__(self, assertion: Assertion, name: str):
+        super().__init__(_PROBE_CONCURROID)
+        self._assertion = assertion
+        self.name = f"assert[{name}]"
+
+    def safe(self, state: State, *args: Any) -> bool:
+        return self._assertion(state)
+
+    def step(self, state: State, *args: Any) -> tuple[None, State]:
+        return None, state
+
+
+def annotate(assertion: Assertion, name: str) -> Prog:
+    """``{P}`` as a program step: insert between commands to carry a
+    Floyd-style intermediate assertion through every interleaving."""
+    return act(AssertionProbe(assertion, name))
+
+
+def annotations_of(prog: Prog) -> list[str]:
+    """The probe names syntactically reachable in an (unexpanded) program
+    — for reporting.  Continuations and ``Call`` thunks are not entered
+    (they are opaque closures), so this sees the *prefix* annotations of
+    each branch."""
+    from .prog import Bind, HideProg, Par
+
+    out: list[str] = []
+    stack = [prog]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ActCall) and isinstance(node.action, AssertionProbe):
+            out.append(node.action.name)
+        elif isinstance(node, Bind):
+            stack.append(node.first)
+        elif isinstance(node, Par):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, HideProg):
+            stack.append(node.body)
+    return out
+
+
+# -- the rule of consequence ---------------------------------------------------------------------
+
+
+def check_weakening(
+    stronger: Spec,
+    weaker: Spec,
+    states: Iterable[State],
+    transitions: Iterable[tuple[State, Any, State]] = (),
+    *,
+    max_issues: int = 5,
+) -> list[str]:
+    """The static halves of the consequence rule, over a finite model:
+
+    * ``pre_weaker ⇒ pre_stronger`` on every model state;
+    * ``pre_weaker(s1) ∧ post_stronger(r, s2, s1) ⇒ post_weaker(r, s2, s1)``
+      on every supplied ``(s1, r, s2)`` behaviour triple.
+    """
+    issues: list[str] = []
+    for s in states:
+        if weaker.pre(s) and not stronger.pre(s):
+            issues.append(
+                f"{weaker.name}: pre does not imply {stronger.name}'s pre at {s!r}"
+            )
+            if len(issues) >= max_issues:
+                return issues
+    for s1, r, s2 in transitions:
+        if not weaker.pre(s1):
+            continue
+        if stronger.check_post(r, s2, s1) and not weaker.check_post(r, s2, s1):
+            issues.append(
+                f"{stronger.name}'s post does not imply {weaker.name}'s post "
+                f"for result {r!r} at {s1!r} -> {s2!r}"
+            )
+            if len(issues) >= max_issues:
+                return issues
+    return issues
+
+
+def collect_behaviours(
+    world: World,
+    scenarios: Sequence[Scenario],
+    *,
+    max_steps: int = 80,
+    env_budget: int = 0,
+    max_configs: int = 200_000,
+) -> list[tuple[State, Any, State]]:
+    """Explore the scenarios and return their ``(pre, result, post)``
+    behaviour triples — the semantic relation the consequence rule
+    quantifies over."""
+    from ..semantics.explore import explore
+    from ..semantics.interp import initial_config
+
+    out: list[tuple[State, Any, State]] = []
+    for scenario in scenarios:
+        config = initial_config(world, scenario.init, scenario.prog)
+        result = explore(
+            config,
+            max_steps=max_steps,
+            env_budget=env_budget,
+            max_configs=max_configs,
+        )
+        for violation in result.violations:
+            raise AssertionError(f"behaviour collection hit a violation: {violation}")
+        for terminal in result.terminals:
+            out.append((scenario.init, terminal.result, terminal.view_for(0)))
+    return out
+
+
+def check_weakening_on_runs(
+    world: World,
+    stronger: Spec,
+    weaker: Spec,
+    scenarios: Sequence[Scenario],
+    **explore_kwargs: Any,
+) -> list[str]:
+    """End-to-end consequence check: collect the scenarios' behaviours and
+    verify the stronger spec's guarantees entail the weaker's."""
+    behaviours = collect_behaviours(world, scenarios, **explore_kwargs)
+    states = [scenario.init for scenario in scenarios]
+    return check_weakening(stronger, weaker, states, behaviours)

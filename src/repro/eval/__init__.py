@@ -1,0 +1,3 @@
+"""Evaluation harness: regenerates every table and figure of §6."""
+
+from .loc import framework_loc, modules_loc, repository_loc, structures_loc

@@ -1,0 +1,118 @@
+"""The full evaluation run: every table and figure in one report.
+
+``python -m repro.eval.report`` regenerates the paper's §6 artifacts —
+Table 1, Table 2, Figure 2, Figure 5 — prints them, and summarizes the
+comparison with the paper.  This is the programmatic backing of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .figure2 import check_figure2_invariants, replay_figure2
+from .figure2 import render as render_figure2
+from .figure5 import diff_against_paper as figure5_diff
+from .figure5 import is_dag, figure5_edges
+from .figure5 import render as render_figure5
+from .loc import framework_loc, repository_loc, structures_loc
+from .table1 import build_table1, check_shape
+from .table1 import render as render_table1
+from .table2 import diff_against_paper as table2_diff
+from .table2 import render as render_table2
+
+
+@dataclass
+class EvaluationReport:
+    """The aggregated outcome of a full evaluation run."""
+
+    table1_text: str = ""
+    table2_text: str = ""
+    figure2_text: str = ""
+    figure5_text: str = ""
+    issues: list[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def render(self) -> str:
+        parts = [
+            "FCSL reproduction — full evaluation run",
+            "=" * 72,
+            "",
+            "Table 1 (verification statistics)",
+            "-" * 72,
+            self.table1_text,
+            "",
+            "Table 2 (concurroid reuse)",
+            "-" * 72,
+            self.table2_text,
+            "",
+            "Figure 2 (spanning-tree stages)",
+            "-" * 72,
+            self.figure2_text,
+            "",
+            "Figure 5 (library dependencies)",
+            "-" * 72,
+            self.figure5_text,
+            "",
+            "-" * 72,
+            f"total wall time: {self.seconds:.1f}s",
+            "status: " + ("ALL ARTIFACTS REPRODUCED" if self.ok else f"ISSUES: {self.issues}"),
+        ]
+        return "\n".join(parts)
+
+
+def run_evaluation(*, verbose: bool = False) -> EvaluationReport:
+    """Regenerate everything (several minutes: runs all 11 verifications)."""
+    report = EvaluationReport()
+    started = time.perf_counter()
+
+    if verbose:
+        print("building Table 1 (verifying all 11 programs)...", flush=True)
+    rows = build_table1()
+    report.table1_text = render_table1(rows)
+    report.issues.extend(check_shape(rows))
+
+    if verbose:
+        print("building Table 2...", flush=True)
+    report.table2_text = render_table2()
+    report.issues.extend(table2_diff())
+
+    if verbose:
+        print("replaying Figure 2...", flush=True)
+    stages, post_ok = replay_figure2()
+    report.figure2_text = render_figure2(stages)
+    if not post_ok:
+        report.issues.append("figure 2: span_root_tp failed")
+    report.issues.extend(check_figure2_invariants(stages))
+
+    if verbose:
+        print("deriving Figure 5...", flush=True)
+    report.figure5_text = render_figure5()
+    missing, extra = figure5_diff()
+    if missing or extra:
+        report.issues.append(f"figure 5 edges differ: -{sorted(missing)} +{sorted(extra)}")
+    if not is_dag(figure5_edges()):
+        report.issues.append("figure 5: dependency graph has a cycle")
+
+    report.seconds = time.perf_counter() - started
+    return report
+
+
+def main() -> None:
+    report = run_evaluation(verbose=True)
+    print()
+    print(report.render())
+    print()
+    areas = repository_loc()
+    print(f"repository size: {areas} "
+          f"(framework {framework_loc()}, case studies {structures_loc()})")
+    raise SystemExit(0 if report.ok else 1)
+
+
+if __name__ == "__main__":
+    main()

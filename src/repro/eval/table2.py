@@ -1,0 +1,105 @@
+"""Table 2: the concurroid reuse matrix.
+
+Rows are the case-study programs; columns the primitive concurroids; a
+cell is ✓ when the program employs that concurroid directly and ✓L when
+the lock concurroids are reached through the abstract interface (so CLock
+and TLock are interchangeable).  Our matrix is derived from the registry
+and compared cell-by-cell against the paper's.
+"""
+
+from __future__ import annotations
+
+from ..structures.registry import CONCURROID_COLUMNS, all_programs
+
+#: The paper's Table 2 (row -> column -> "yes" | "lock-interface").
+PAPER_TABLE2: dict[str, dict[str, str]] = {
+    "CAS-lock": {"Priv": "yes", "CLock": "yes"},
+    "Ticketed lock": {"Priv": "yes", "TLock": "yes"},
+    "CG increment": {"Priv": "yes", "CLock": "lock-interface", "TLock": "lock-interface"},
+    "CG allocator": {"Priv": "yes", "CLock": "lock-interface", "TLock": "lock-interface"},
+    "Pair snapshot": {"ReadPair": "yes"},
+    "Treiber stack": {
+        "Priv": "yes",
+        "CLock": "lock-interface",
+        "TLock": "lock-interface",
+        "Treiber": "yes",
+    },
+    "Spanning tree": {"Priv": "yes", "SpanTree": "yes"},
+    "Flat combiner": {
+        "Priv": "yes",
+        "CLock": "lock-interface",
+        "TLock": "lock-interface",
+        "FlatCombine": "yes",
+    },
+    "Seq. stack": {
+        "Priv": "yes",
+        "CLock": "lock-interface",
+        "TLock": "lock-interface",
+        "Treiber": "yes",
+    },
+    "FC-stack": {
+        "Priv": "yes",
+        "CLock": "lock-interface",
+        "TLock": "lock-interface",
+        "FlatCombine": "yes",
+    },
+    "Prod/Cons": {
+        "Priv": "yes",
+        "CLock": "lock-interface",
+        "TLock": "lock-interface",
+        "Treiber": "yes",
+    },
+}
+
+_MARKS = {"": "", "yes": "v", "lock-interface": "vL"}
+
+
+def build_table2() -> dict[str, dict[str, str]]:
+    """Our matrix, derived from the registry."""
+    return {
+        info.name: {col: info.uses(col) for col in CONCURROID_COLUMNS if info.uses(col)}
+        for info in all_programs()
+    }
+
+
+def diff_against_paper() -> list[str]:
+    """Cell-by-cell comparison; empty = exact match."""
+    ours = build_table2()
+    issues: list[str] = []
+    for name, paper_row in PAPER_TABLE2.items():
+        our_row = ours.get(name)
+        if our_row is None:
+            issues.append(f"missing program {name!r}")
+            continue
+        for col in CONCURROID_COLUMNS:
+            expected = paper_row.get(col, "")
+            actual = our_row.get(col, "")
+            if expected != actual:
+                issues.append(
+                    f"{name} / {col}: paper={expected or '-'} ours={actual or '-'}"
+                )
+    for name in ours:
+        if name not in PAPER_TABLE2:
+            issues.append(f"extra program {name!r}")
+    return issues
+
+
+def render() -> str:
+    ours = build_table2()
+    widths = {col: max(len(col), 3) for col in CONCURROID_COLUMNS}
+    header = f"{'Program':<15} " + " ".join(
+        f"{col:>{widths[col]}}" for col in CONCURROID_COLUMNS
+    )
+    lines = [header, "-" * len(header)]
+    for info in all_programs():
+        row = ours[info.name]
+        cells = " ".join(
+            f"{_MARKS[row.get(col, '')]:>{widths[col]}}" for col in CONCURROID_COLUMNS
+        )
+        lines.append(f"{info.name:<15} {cells}")
+    diff = diff_against_paper()
+    lines.append("")
+    lines.append(
+        "matches paper Table 2 exactly" if not diff else f"DIFFERENCES: {diff}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Heap-represented graphs and the graph theory of §3.2."""
+
+from .enumerate import all_graph_views, all_graphs, random_connected_graph, random_graph
+from .lemmas import (
+    MarkedGraph,
+    fronts_of,
+    max_tree2_holds,
+    subgraph,
+    subgraph_reflexive,
+    subgraph_transitive,
+)
+from .paths import connected, edge, edges, front, is_path, is_tree, maximal, reachable
+from .reprs import (
+    LEFT,
+    RIGHT,
+    GraphView,
+    NotAGraphError,
+    Side,
+    figure2_graph,
+    graph_heap,
+    is_graph,
+)
+
+__all__ = [
+    "all_graph_views",
+    "all_graphs",
+    "random_connected_graph",
+    "random_graph",
+    "MarkedGraph",
+    "fronts_of",
+    "max_tree2_holds",
+    "subgraph",
+    "subgraph_reflexive",
+    "subgraph_transitive",
+    "connected",
+    "edge",
+    "edges",
+    "front",
+    "is_path",
+    "is_tree",
+    "maximal",
+    "reachable",
+    "LEFT",
+    "RIGHT",
+    "GraphView",
+    "NotAGraphError",
+    "Side",
+    "figure2_graph",
+    "graph_heap",
+    "is_graph",
+]

@@ -1,0 +1,87 @@
+"""Enumeration of small graph families.
+
+The finite-model discharge of universally-quantified lemmas (DESIGN.md §1)
+needs "all graphs up to N nodes".  These generators produce heap-represented
+graphs deterministically; callers bound N at 2–3 for exhaustive sweeps and
+use :func:`random_graph` for larger randomized sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import product
+from typing import Iterator
+
+from ..heap import Heap
+from .reprs import GraphView, graph_heap
+
+
+def all_graphs(n: int, *, include_marks: bool = False) -> Iterator[Heap]:
+    """All graphs on exactly nodes ``1..n``.
+
+    Each node's successors range over ``{null} ∪ {1..n}``; when
+    ``include_marks`` each node's mark bit also ranges over both values
+    (multiplying the family size by ``2^n``).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    node_ids = list(range(1, n + 1))
+    succ_choices = [0] + node_ids
+    per_node = list(product(succ_choices, succ_choices))
+    for assignment in product(per_node, repeat=n):
+        adjacency = {node: assignment[i] for i, node in enumerate(node_ids)}
+        if not include_marks:
+            yield graph_heap(adjacency)
+        else:
+            for marks in product((False, True), repeat=n):
+                marked = frozenset(node for node, m in zip(node_ids, marks) if m)
+                yield graph_heap(adjacency, marked)
+
+
+def all_graph_views(n: int, *, include_marks: bool = False) -> Iterator[GraphView]:
+    for h in all_graphs(n, include_marks=include_marks):
+        yield GraphView(h)
+
+
+def random_graph(n: int, rng: random.Random, mark_prob: float = 0.0) -> Heap:
+    """A uniformly random graph on nodes ``1..n`` with random marks."""
+    adjacency = {}
+    marked = set()
+    for node in range(1, n + 1):
+        left = rng.randint(0, n)
+        right = rng.randint(0, n)
+        adjacency[node] = (left, right)
+        if rng.random() < mark_prob:
+            marked.add(node)
+    return graph_heap(adjacency, frozenset(marked))
+
+
+def random_connected_graph(n: int, rng: random.Random) -> tuple[Heap, int]:
+    """A random *connected* unmarked graph rooted at node 1.
+
+    Returns ``(heap, root)``.  Construction: a random binary spanning
+    skeleton (every node > 1 hangs off an earlier node's free slot), then
+    leftover free slots are randomly filled with extra edges — so redundant
+    edges and sharing (the interesting cases for ``span``) appear.
+    """
+    if n < 1:
+        raise ValueError("a connected graph needs at least one node")
+    slots: dict[int, list[int]] = {node: [0, 0] for node in range(1, n + 1)}
+    for node in range(2, n + 1):
+        # Attach `node` to a random earlier node with a free slot.
+        candidates = [m for m in range(1, node) if 0 in slots[m]]
+        parent = rng.choice(candidates) if candidates else node - 1
+        free = [i for i, s in enumerate(slots[parent]) if s == 0]
+        if not free:
+            # No free slot anywhere earlier (a left-spine of full nodes):
+            # retarget the previous node's right edge through `node`.
+            slots[node - 1][1] = node
+        else:
+            slots[parent][rng.choice(free)] = node
+    # Fill some remaining free slots with random extra edges.
+    for node in range(1, n + 1):
+        for i in range(2):
+            if slots[node][i] == 0 and rng.random() < 0.4:
+                slots[node][i] = rng.randint(1, n)
+    adjacency = {node: (slots[node][0], slots[node][1]) for node in slots}
+    return graph_heap(adjacency), 1

@@ -1,0 +1,120 @@
+"""Paths, trees, fronts and connectivity over heap-represented graphs.
+
+Executable versions of the predicates of §3.2: ``edge``, ``path``,
+``tree``, ``front``, ``maximal`` and ``connected``.  Node sets ``t`` are
+``frozenset[Ptr]`` (the paper's ``ptr_set``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from ..heap import NULL, Ptr
+from .reprs import GraphView
+
+
+def edge(g: GraphView, x: Ptr, y: Ptr) -> bool:
+    """The incidence relation: ``x`` is a node and ``y`` a non-null successor."""
+    if x not in g:
+        return False
+    if y == NULL:
+        return False
+    return y in (g.edgl(x), g.edgr(x))
+
+
+def edges(g: GraphView) -> frozenset[tuple[Ptr, Ptr]]:
+    """All edges of the graph as ``(source, target)`` pairs."""
+    out = set()
+    for x in g:
+        for y in g.successors(x):
+            if y != NULL:
+                out.add((x, y))
+    return frozenset(out)
+
+
+def is_path(g: GraphView, x: Ptr, p: Sequence[Ptr]) -> bool:
+    """Whether ``p`` is a path from ``x`` via ``edge`` links.
+
+    Matches ssreflect's ``path edge x p``: the empty path is a path from
+    any ``x``, and ``last x p`` is the path's endpoint.
+    """
+    current = x
+    for step in p:
+        if not edge(g, current, step):
+            return False
+        current = step
+    return True
+
+
+def is_tree(g: GraphView, x: Ptr, t: frozenset[Ptr]) -> bool:
+    """The ``tree x t`` predicate: ``x ∈ t`` and every ``y ∈ t`` is reached
+    from ``x`` by a *unique* path lying within ``t``.
+    """
+    if x not in t:
+        return False
+    if not t <= g.nodes():
+        return False
+    # Count, for each y in t, the distinct paths x ->* y within t.  A tree
+    # requires exactly one per node (the empty path reaches x itself).
+    path_counts: dict[Ptr, int] = {y: 0 for y in t}
+    for p in _all_paths_within(g, x, t):
+        endpoint = p[-1] if p else x
+        if endpoint in path_counts:
+            path_counts[endpoint] += 1
+            if path_counts[endpoint] > 1:
+                return False
+    return all(count == 1 for count in path_counts.values())
+
+
+def _all_paths_within(g: GraphView, x: Ptr, t: frozenset[Ptr]):
+    """All paths (not only simple ones) from ``x`` within ``t``, cut off at
+    length ``|t|`` — long enough to expose any duplicate path or cycle."""
+    limit = len(t)
+    stack: list[tuple[Ptr, tuple[Ptr, ...]]] = [(x, ())]
+    while stack:
+        node, trail = stack.pop()
+        yield trail
+        if len(trail) >= limit:
+            continue
+        for succ in g.successors(node):
+            if succ != NULL and succ in t:
+                stack.append((succ, trail + (succ,)))
+
+
+def front(g: GraphView, t: Iterable[Ptr], t_prime: Iterable[Ptr]) -> bool:
+    """``front t t'``: ``t ⊆ t'`` and every 1-step successor of ``t`` is in ``t'``."""
+    t_set, tp_set = frozenset(t), frozenset(t_prime)
+    if not t_set <= tp_set:
+        return False
+    for x in t_set:
+        for y in g.successors(x):
+            if y != NULL and edge(g, x, y) and y not in tp_set:
+                return False
+    return True
+
+
+def maximal(g: GraphView, t: Iterable[Ptr]) -> bool:
+    """``maximal t``: the tree includes its own front (cannot be extended)."""
+    return front(g, t, t)
+
+
+def connected(g: GraphView, x: Ptr, t: Iterable[Ptr]) -> bool:
+    """``connected x t``: every node of ``t`` reachable from ``x``."""
+    t_set = frozenset(t)
+    return t_set <= reachable(g, x)
+
+
+def reachable(g: GraphView, x: Ptr) -> frozenset[Ptr]:
+    """All nodes reachable from ``x`` (including ``x`` if it is a node)."""
+    if x not in g:
+        return frozenset()
+    seen = {x}
+    frontier = deque([x])
+    while frontier:
+        node = frontier.popleft()
+        for succ in g.successors(node):
+            if succ != NULL and succ in g and succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return frozenset(seen)

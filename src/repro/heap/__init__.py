@@ -1,0 +1,19 @@
+"""Heap substrate: pointers and union-map heaps (paper §3.2)."""
+
+from .heap import EMPTY, UNDEF, Heap, empty, heap_of, join_all, pts
+from .pointers import NULL, Ptr, fresh_ptr, ptr, ptrs
+
+__all__ = [
+    "EMPTY",
+    "UNDEF",
+    "Heap",
+    "empty",
+    "heap_of",
+    "join_all",
+    "pts",
+    "NULL",
+    "Ptr",
+    "fresh_ptr",
+    "ptr",
+    "ptrs",
+]

@@ -1,0 +1,61 @@
+"""Pointers for the heap model.
+
+The paper represents graphs and concurrent data structures in a heap whose
+domain is a set of pointers, with a distinguished ``null`` pointer that is
+never in the domain of any heap.  We model pointers as immutable wrappers
+around positive integers; ``NULL`` wraps 0 and is falsy, so idioms like
+``if x:`` read naturally in ported code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, order=True)
+class Ptr:
+    """A heap pointer.  ``Ptr(0)`` is the null pointer."""
+
+    addr: int
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError(f"pointer address must be non-negative, got {self.addr}")
+
+    @property
+    def is_null(self) -> bool:
+        return self.addr == 0
+
+    def __bool__(self) -> bool:
+        return self.addr != 0
+
+    def __repr__(self) -> str:
+        return "null" if self.addr == 0 else f"p{self.addr}"
+
+
+#: The null pointer.  Never a member of any heap domain.
+NULL = Ptr(0)
+
+
+def ptr(addr: int) -> Ptr:
+    """Construct a pointer from a raw address (0 yields ``NULL``)."""
+    return Ptr(addr)
+
+
+def ptrs(*addrs: int) -> tuple[Ptr, ...]:
+    """Construct several pointers at once: ``ptrs(1, 2, 3)``."""
+    return tuple(Ptr(a) for a in addrs)
+
+
+def fresh_ptr(used: Iterable[Ptr]) -> Ptr:
+    """Return a pointer not in ``used`` (and not null).
+
+    Deterministic: always the smallest unused positive address, so tests
+    and replayed schedules allocate identically.
+    """
+    taken = {p.addr for p in used}
+    addr = 1
+    while addr in taken:
+        addr += 1
+    return Ptr(addr)

@@ -1,0 +1,23 @@
+"""Linearizability: concurrent histories and the Herlihy–Wing checker."""
+
+from .bridge import tracked
+from .checker import LinearizationResult, assert_linearizable, linearize
+from .history import (
+    ConcurrentHistory,
+    HistoryRecorder,
+    Operation,
+    register_model,
+    stack_model,
+)
+
+__all__ = [
+    "tracked",
+    "LinearizationResult",
+    "assert_linearizable",
+    "linearize",
+    "ConcurrentHistory",
+    "HistoryRecorder",
+    "Operation",
+    "register_model",
+    "stack_model",
+]

@@ -1,0 +1,46 @@
+"""Recording operation-level histories from interpreter runs.
+
+:func:`tracked` brackets a program with invoke/respond marks feeding a
+:class:`~repro.linearize.history.HistoryRecorder`; the marks are
+administrative (they execute in the normalization step right after the
+enabling atomic action), so the recorded intervals reflect the actual
+interleaving of the run.
+
+Used to validate that the history-PCM specified structures (Treiber
+stack, FC-stack, pair snapshot) are linearizable in the classical
+operational sense — the bridge between the paper's PCM histories and
+Herlihy–Wing linearizability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.prog import Call, Prog, bind, ret
+from .history import HistoryRecorder
+
+
+def tracked(
+    recorder: HistoryRecorder,
+    thread_label: int,
+    op: str,
+    arg: Any,
+    prog: Prog,
+    result_of: Callable[[Any], Any] | None = None,
+) -> Prog:
+    """Wrap ``prog`` so its span is recorded as one operation.
+
+    ``thread_label`` is a caller-chosen logical thread id (interpreter
+    tids are per-fork and less readable); ``result_of`` post-processes the
+    program's return value into the recorded result.
+    """
+
+    def begin() -> Prog:
+        op_id = recorder.invoke(thread_label, op, arg)
+        return bind(prog, lambda v: finish(op_id, v))
+
+    def finish(op_id: int, value: Any) -> Prog:
+        recorder.respond(op_id, result_of(value) if result_of else value)
+        return ret(value)
+
+    return Call(begin, (), label=f"tracked:{op}")

@@ -1,0 +1,94 @@
+"""Linearizability checking by exhaustive linearization search.
+
+The classic Wing & Gong / Herlihy & Wing procedure: search for a total
+order of the operations that (i) respects real-time precedence (an op that
+responded before another was invoked comes first) and (ii) replays
+correctly through the sequential model.  Memoization on
+(remaining-op-set, abstract state) keeps the search polynomial-ish on the
+small histories the interpreter produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from .history import ConcurrentHistory, Operation, SequentialModel
+
+
+@dataclass
+class LinearizationResult:
+    """Outcome of the search: a witness order, or a refutation."""
+
+    linearizable: bool
+    witness: list[Operation] | None = None
+
+    def __bool__(self) -> bool:
+        return self.linearizable
+
+
+def linearize(
+    history: ConcurrentHistory,
+    model: SequentialModel,
+    initial: Hashable,
+) -> LinearizationResult:
+    """Search for a linearization of ``history`` wrt. ``model``."""
+    ops = history.operations
+    n = len(ops)
+    if n == 0:
+        return LinearizationResult(True, [])
+
+    # Precompute real-time predecessors: op i must come after all ops that
+    # responded before i was invoked.
+    preds: list[frozenset[int]] = []
+    for i, op in enumerate(ops):
+        preds.append(
+            frozenset(j for j, other in enumerate(ops) if other.precedes(op))
+        )
+
+    full_mask = (1 << n) - 1
+    dead: set[tuple[int, Hashable]] = set()
+
+    def search(done_mask: int, state: Hashable, acc: list[Operation]) -> list[Operation] | None:
+        if done_mask == full_mask:
+            return acc
+        key = (done_mask, state)
+        if key in dead:
+            return None
+        for i in range(n):
+            bit = 1 << i
+            if done_mask & bit:
+                continue
+            # i is schedulable if all its real-time predecessors are done.
+            if any(not (done_mask & (1 << j)) for j in preds[i]):
+                continue
+            op = ops[i]
+            try:
+                result, new_state = model(state, op.op, op.arg)
+            except ValueError:
+                continue
+            if result != op.result:
+                continue
+            found = search(done_mask | bit, new_state, acc + [op])
+            if found is not None:
+                return found
+        dead.add(key)
+        return None
+
+    witness = search(0, initial, [])
+    if witness is None:
+        return LinearizationResult(False)
+    return LinearizationResult(True, witness)
+
+
+def assert_linearizable(
+    history: ConcurrentHistory,
+    model: SequentialModel,
+    initial: Hashable,
+) -> list[Operation]:
+    """Return a witness linearization or raise ``AssertionError``."""
+    result = linearize(history, model, initial)
+    if not result:
+        raise AssertionError(f"history is not linearizable:\n{history!r}")
+    assert result.witness is not None
+    return result.witness

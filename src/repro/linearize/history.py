@@ -1,0 +1,135 @@
+"""Concurrent operation histories (Herlihy & Wing [21]).
+
+The paper's snapshot and stack specs are given "via a PCM of time-stamped
+action histories ... in the spirit of linearizability".  This package
+closes the loop: it records *operation-level* concurrent histories
+(invocation/response intervals) from executions and checks them
+linearizable against a sequential model — validating that the
+history-PCM specs indeed enforce linearizable behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed operation: its name, argument, result and interval.
+
+    ``invoked`` and ``responded`` are logical timestamps: the operation
+    was in flight over ``[invoked, responded]``.
+    """
+
+    op_id: int
+    thread: int
+    op: str
+    arg: Any
+    result: Any
+    invoked: int
+    responded: int
+
+    def precedes(self, other: "Operation") -> bool:
+        """Real-time order: this op responded before the other was invoked."""
+        return self.responded < other.invoked
+
+    def overlaps(self, other: "Operation") -> bool:
+        return not self.precedes(other) and not other.precedes(self)
+
+    def __str__(self) -> str:
+        return (
+            f"t{self.thread}:{self.op}({self.arg!r}) = {self.result!r} "
+            f"@[{self.invoked},{self.responded}]"
+        )
+
+
+class ConcurrentHistory:
+    """A finite, complete concurrent history."""
+
+    def __init__(self, operations: list[Operation] | None = None):
+        self._ops = list(operations or [])
+
+    @property
+    def operations(self) -> list[Operation]:
+        return list(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def sequential_orderings(self) -> bool:
+        """Whether per-thread operations are properly nested (sanity)."""
+        by_thread: dict[int, list[Operation]] = {}
+        for op in self._ops:
+            by_thread.setdefault(op.thread, []).append(op)
+        for ops in by_thread.values():
+            ops.sort(key=lambda o: o.invoked)
+            for a, b in zip(ops, ops[1:]):
+                if not a.precedes(b):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return "ConcurrentHistory(\n  " + "\n  ".join(str(o) for o in self._ops) + "\n)"
+
+
+class HistoryRecorder:
+    """Builds a :class:`ConcurrentHistory` from invoke/respond callbacks.
+
+    Timestamps come from an internal monotone counter, so the recorded
+    order is the actual execution order of the run being observed.
+    """
+
+    def __init__(self):
+        self._clock = 0
+        self._pending: dict[int, tuple[int, str, Any, int]] = {}
+        self._done: list[Operation] = []
+        self._next_id = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def invoke(self, thread: int, op: str, arg: Any) -> int:
+        op_id = self._next_id
+        self._next_id += 1
+        self._pending[op_id] = (thread, op, arg, self._tick())
+        return op_id
+
+    def respond(self, op_id: int, result: Any) -> None:
+        thread, op, arg, invoked = self._pending.pop(op_id)
+        self._done.append(
+            Operation(op_id, thread, op, arg, result, invoked, self._tick())
+        )
+
+    def history(self) -> ConcurrentHistory:
+        if self._pending:
+            raise ValueError(f"{len(self._pending)} operation(s) never responded")
+        return ConcurrentHistory(sorted(self._done, key=lambda o: o.invoked))
+
+
+#: A sequential model: ``apply(state, op, arg) -> (result, new_state)``.
+SequentialModel = Callable[[Hashable, str, Any], tuple[Any, Hashable]]
+
+
+def stack_model(state: tuple, op: str, arg: Any) -> tuple[Any, tuple]:
+    """The sequential stack model (for Treiber / FC-stack histories)."""
+    if op == "push":
+        return None, (arg,) + state
+    if op == "pop":
+        if not state:
+            return None, state
+        return state[0], state[1:]
+    raise ValueError(f"unknown stack operation {op!r}")
+
+
+def register_model(state: Hashable, op: str, arg: Any) -> tuple[Any, Hashable]:
+    """A sequential read/write register model (for snapshot cells)."""
+    if op == "read":
+        return state, state
+    if op == "write":
+        return None, arg
+    raise ValueError(f"unknown register operation {op!r}")

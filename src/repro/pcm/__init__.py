@@ -1,0 +1,43 @@
+"""Partial commutative monoids: the algebra of thread contributions.
+
+This package provides the PCM catalogue enumerated in §6 of the paper:
+disjoint sets, heaps, naturals with addition, the mutual-exclusion PCM,
+time-stamped histories, and the product/lift combinators for
+client-provided PCMs.
+"""
+
+from .base import PCM, UNDEF, Undef, UnitPCM
+from .heappcm import HeapPCM
+from .histories import EMPTY_HISTORY, HistEntry, History, HistoryPCM, hist
+from .laws import LawViolation, assert_pcm_laws, check_all_laws
+from .mutex import NOT_OWN, OWN, Mutex, MutexPCM
+from .natpcm import NatPCM
+from .product import LIFT_UNIT, LiftPCM, ProductPCM, exclusive_pcm
+from .setpcm import SetPCM, singleton
+
+__all__ = [
+    "PCM",
+    "UNDEF",
+    "Undef",
+    "UnitPCM",
+    "HeapPCM",
+    "EMPTY_HISTORY",
+    "HistEntry",
+    "History",
+    "HistoryPCM",
+    "hist",
+    "LawViolation",
+    "assert_pcm_laws",
+    "check_all_laws",
+    "NOT_OWN",
+    "OWN",
+    "Mutex",
+    "MutexPCM",
+    "NatPCM",
+    "LIFT_UNIT",
+    "LiftPCM",
+    "ProductPCM",
+    "exclusive_pcm",
+    "SetPCM",
+    "singleton",
+]

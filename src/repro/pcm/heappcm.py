@@ -1,0 +1,53 @@
+"""Heaps as a PCM — the model of thread-local (``Priv``) state.
+
+The paper's ``Priv`` concurroid keeps each thread's private heap in the
+``self`` component; heaps join by disjoint union with the empty heap as
+unit, and ``UNDEF`` as the absorbing invalid element (§2.2.1, [33]).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..heap import EMPTY, UNDEF as HEAP_UNDEF, Heap, pts, ptr
+from .base import PCM
+
+
+class HeapPCM(PCM):
+    """The PCM of union-map heaps (join = ``\\+``, unit = empty heap)."""
+
+    name = "heaps"
+
+    @property
+    def unit(self) -> Heap:
+        return EMPTY
+
+    def join(self, a: Any, b: Any) -> Any:
+        if not isinstance(a, Heap) or not isinstance(b, Heap):
+            return HEAP_UNDEF
+        return a.join(b)
+
+    def valid(self, x: Any) -> bool:
+        return isinstance(x, Heap) and x.is_valid
+
+    def splits(self, x: Any) -> Sequence[tuple[Heap, Heap]]:
+        if not isinstance(x, Heap) or not x.is_valid:
+            return ()
+        cells = sorted(x.dom(), key=lambda p: p.addr)
+        if len(cells) > 6:  # keep the split family tractable on big heaps
+            return ((self.unit, x), (x, self.unit))
+        out = []
+        for mask in range(1 << len(cells)):
+            picked = {p for i, p in enumerate(cells) if mask & (1 << i)}
+            out.append((x.restrict(picked), x.remove_all(picked)))
+        return tuple(out)
+
+    def sample(self) -> Sequence[Heap]:
+        p1, p2 = ptr(1), ptr(2)
+        return (
+            EMPTY,
+            pts(p1, 0),
+            pts(p1, 1),
+            pts(p2, 0),
+            pts(p1, 0).join(pts(p2, 1)),
+        )

@@ -1,0 +1,99 @@
+"""Executable PCM law checking.
+
+The Coq development proves the PCM laws once per instance; here the laws
+are *checked* — exhaustively over each PCM's :meth:`~repro.pcm.base.PCM.sample`
+and randomly via hypothesis in the test suite.  The checker returns a list
+of :class:`LawViolation` so failures are reportable (and so the
+failure-injection tests can assert that a broken PCM is caught).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from .base import PCM
+
+
+@dataclass(frozen=True)
+class LawViolation:
+    """A concrete counterexample to a PCM law."""
+
+    law: str
+    pcm: str
+    witnesses: tuple
+
+    def __str__(self) -> str:
+        return f"{self.pcm}: {self.law} violated at {self.witnesses!r}"
+
+
+def check_unit_law(pcm: PCM, elems: Iterable[Hashable]) -> list[LawViolation]:
+    """``a • unit = a`` and ``unit • a = a``."""
+    out = []
+    for a in elems:
+        if pcm.join(a, pcm.unit) != a or pcm.join(pcm.unit, a) != a:
+            out.append(LawViolation("unit", pcm.name, (a,)))
+    return out
+
+
+def check_commutativity(pcm: PCM, elems: Sequence[Hashable]) -> list[LawViolation]:
+    """``a • b = b • a``."""
+    out = []
+    for a in elems:
+        for b in elems:
+            if pcm.join(a, b) != pcm.join(b, a):
+                out.append(LawViolation("commutativity", pcm.name, (a, b)))
+    return out
+
+
+def check_associativity(pcm: PCM, elems: Sequence[Hashable]) -> list[LawViolation]:
+    """``a • (b • c) = (a • b) • c``."""
+    out = []
+    for a in elems:
+        for b in elems:
+            for c in elems:
+                left = pcm.join(a, pcm.join(b, c))
+                right = pcm.join(pcm.join(a, b), c)
+                if left != right and (pcm.valid(left) or pcm.valid(right)):
+                    # Two *invalid* results need not be equal; but a valid
+                    # result on one side must be matched on the other.
+                    out.append(LawViolation("associativity", pcm.name, (a, b, c)))
+    return out
+
+
+def check_validity_monotone(pcm: PCM, elems: Sequence[Hashable]) -> list[LawViolation]:
+    """``valid (a • b) -> valid a /\\ valid b``."""
+    out = []
+    for a in elems:
+        for b in elems:
+            if pcm.valid(pcm.join(a, b)) and not (pcm.valid(a) and pcm.valid(b)):
+                out.append(LawViolation("validity-monotone", pcm.name, (a, b)))
+    return out
+
+
+def check_unit_valid(pcm: PCM) -> list[LawViolation]:
+    """``valid unit``."""
+    if not pcm.valid(pcm.unit):
+        return [LawViolation("unit-valid", pcm.name, (pcm.unit,))]
+    return []
+
+
+def check_all_laws(pcm: PCM, elems: Sequence[Hashable] | None = None) -> list[LawViolation]:
+    """Run every PCM law over ``elems`` (default: the PCM's own sample)."""
+    if elems is None:
+        elems = tuple(pcm.sample())
+    violations: list[LawViolation] = []
+    violations.extend(check_unit_valid(pcm))
+    violations.extend(check_unit_law(pcm, elems))
+    violations.extend(check_commutativity(pcm, elems))
+    violations.extend(check_associativity(pcm, elems))
+    violations.extend(check_validity_monotone(pcm, elems))
+    return violations
+
+
+def assert_pcm_laws(pcm: PCM, elems: Sequence[Hashable] | None = None) -> None:
+    """Raise ``AssertionError`` with all counterexamples if any law fails."""
+    violations = check_all_laws(pcm, elems)
+    if violations:
+        details = "\n".join(str(v) for v in violations)
+        raise AssertionError(f"PCM laws violated for {pcm.name}:\n{details}")

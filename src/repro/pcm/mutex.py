@@ -1,0 +1,54 @@
+"""The mutual-exclusion PCM — auxiliary state of locks and the flat combiner.
+
+Carrier ``{NOT_OWN, OWN}`` with ``NOT_OWN`` as unit and ``OWN • OWN``
+undefined: at most one thread (self or environment) may hold the lock.
+This is the "mutual exclusion PCM" of Ley-Wild & Nanevski [33] used by the
+CAS-lock and the flat combiner (§6, Table caption).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Sequence
+
+from .base import PCM, Undef
+
+
+class Mutex(Enum):
+    """Lock-ownership tokens."""
+
+    NOT_OWN = "not_own"
+    OWN = "own"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: Convenient aliases mirroring the paper's own/not-own vocabulary.
+OWN = Mutex.OWN
+NOT_OWN = Mutex.NOT_OWN
+
+
+class MutexPCM(PCM):
+    """``({OWN, NOT_OWN}, •, NOT_OWN)`` with ``OWN • OWN`` undefined."""
+
+    name = "mutex"
+
+    @property
+    def unit(self) -> Mutex:
+        return Mutex.NOT_OWN
+
+    def join(self, a: Any, b: Any) -> Any:
+        if not isinstance(a, Mutex) or not isinstance(b, Mutex):
+            return Undef("non-mutex operand")
+        if a is Mutex.OWN and b is Mutex.OWN:
+            return Undef("two owners of one lock")
+        if a is Mutex.OWN or b is Mutex.OWN:
+            return Mutex.OWN
+        return Mutex.NOT_OWN
+
+    def valid(self, x: Any) -> bool:
+        return isinstance(x, Mutex)
+
+    def sample(self) -> Sequence[Mutex]:
+        return (Mutex.NOT_OWN, Mutex.OWN)

@@ -1,0 +1,50 @@
+"""Natural numbers with addition — the PCM of the CG-increment example.
+
+Ley-Wild & Nanevski (POPL'13) use ``(nat, +, 0)`` as the subjective
+auxiliary state for the coarse-grained incrementor: each thread's ``self``
+records how much *it* added to the shared counter, and the lock invariant
+ties the counter's contents to ``self • other``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from .base import PCM, UNDEF, Undef
+
+
+class NatPCM(PCM):
+    """``(nat, +, 0)`` — a total commutative monoid (no invalid sums)."""
+
+    name = "nat(+)"
+
+    def __init__(self, sample_bound: int = 5):
+        if sample_bound < 1:
+            raise ValueError("sample_bound must be at least 1")
+        self._sample_bound = sample_bound
+
+    @property
+    def unit(self) -> int:
+        return 0
+
+    def join(self, a: Any, b: Any) -> Any:
+        if isinstance(a, Undef) or isinstance(b, Undef):
+            return UNDEF
+        if not self._is_nat(a) or not self._is_nat(b):
+            return UNDEF
+        return a + b
+
+    def valid(self, x: Any) -> bool:
+        return self._is_nat(x)
+
+    @staticmethod
+    def _is_nat(x: Any) -> bool:
+        return isinstance(x, int) and not isinstance(x, bool) and x >= 0
+
+    def sample(self) -> Sequence[int]:
+        return tuple(range(self._sample_bound))
+
+    def splits(self, x: Any) -> Sequence[tuple[int, int]]:
+        if not self._is_nat(x):
+            return ()
+        return tuple((i, x - i) for i in range(x + 1))

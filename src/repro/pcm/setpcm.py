@@ -1,0 +1,72 @@
+"""Disjoint finite sets — the PCM of the spanning-tree example.
+
+``self`` and ``other`` in the ``SpanTree`` concurroid are sets of nodes
+(pointers) marked by the observing thread and its environment; their join
+is *disjoint* union ``·∪`` with the empty set as unit (§2.2.1).  A
+non-disjoint union is undefined — two threads can never both have marked
+the same node, which is exactly what the CAS in ``trymark`` enforces.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Any, Iterable, Sequence
+
+from .base import PCM, UNDEF, Undef
+
+
+class SetPCM(PCM):
+    """Finite sets of hashable elements under disjoint union.
+
+    ``universe`` (optional) restricts the carrier and drives :meth:`sample`;
+    with no universe, elements are arbitrary frozensets and the sample is
+    built over a default three-element universe.
+    """
+
+    name = "disjoint-sets"
+
+    def __init__(self, universe: Iterable[Any] | None = None, max_sample_size: int = 2):
+        self._universe: tuple | None = tuple(universe) if universe is not None else None
+        self._max_sample_size = max_sample_size
+
+    @property
+    def unit(self) -> frozenset:
+        return frozenset()
+
+    def join(self, a: Any, b: Any) -> Any:
+        if isinstance(a, Undef) or isinstance(b, Undef):
+            return UNDEF
+        if not isinstance(a, frozenset) or not isinstance(b, frozenset):
+            return UNDEF
+        if a & b:
+            return Undef(f"overlapping sets: {sorted(map(repr, a & b))}")
+        return a | b
+
+    def valid(self, x: Any) -> bool:
+        if not isinstance(x, frozenset):
+            return False
+        if self._universe is not None and not x <= frozenset(self._universe):
+            return False
+        return True
+
+    def splits(self, x: Any) -> Sequence[tuple[frozenset, frozenset]]:
+        if not isinstance(x, frozenset):
+            return ()
+        elems = sorted(x, key=repr)
+        out = []
+        for mask in range(1 << len(elems)):
+            a = frozenset(e for i, e in enumerate(elems) if mask & (1 << i))
+            out.append((a, x - a))
+        return tuple(out)
+
+    def sample(self) -> Sequence[frozenset]:
+        universe = self._universe if self._universe is not None else ("a", "b", "c")
+        out: list[frozenset] = [frozenset()]
+        for size in range(1, min(self._max_sample_size, len(universe)) + 1):
+            out.extend(frozenset(c) for c in combinations(universe, size))
+        return tuple(out)
+
+
+def singleton(x: Any) -> frozenset:
+    """The singleton set ``#x`` used in transition definitions (§3.3)."""
+    return frozenset((x,))

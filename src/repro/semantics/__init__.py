@@ -1,0 +1,49 @@
+"""Operational semantics: the interleaving interpreter and explorers."""
+
+from .erasure import check_program_erasure, real_heap_of, run_schedule
+from .explore import (
+    ExplorationResult,
+    Violation,
+    explore,
+    run_deterministic,
+    run_random,
+)
+from .interp import (
+    Config,
+    ThreadCtx,
+    do_action,
+    env_successors,
+    fingerprint,
+    initial_config,
+    normalize,
+)
+from .trace import Event, Trace
+from .trees import Tree, TAct, TPar, TRet, UNFINISHED, denote, graft, tree_outcomes
+
+__all__ = [
+    "check_program_erasure",
+    "real_heap_of",
+    "run_schedule",
+    "fingerprint",
+    "ExplorationResult",
+    "Violation",
+    "explore",
+    "run_deterministic",
+    "run_random",
+    "Config",
+    "ThreadCtx",
+    "do_action",
+    "env_successors",
+    "initial_config",
+    "normalize",
+    "Event",
+    "Trace",
+    "Tree",
+    "TAct",
+    "TPar",
+    "TRet",
+    "UNFINISHED",
+    "denote",
+    "graft",
+    "tree_outcomes",
+]

@@ -1,0 +1,99 @@
+"""Program-level erasure: auxiliary state must not influence execution.
+
+§3.4: "for each atomic action we always prove the erasure property that
+says that the effect of the action on the auxiliary state doesn't affect
+the real state."  The per-action half lives in
+:func:`repro.core.action.check_action`; this module checks the *program*
+level consequence by differential execution: two initial states that
+erase to the same real heap (they differ only in how auxiliary
+contributions are distributed between ``self`` and ``other``, or in
+auxiliary representation) must produce identical results and identical
+real heaps under identical schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Sequence
+
+from ..core.prog import Prog
+from ..core.state import State
+from ..core.world import World
+from ..heap import EMPTY, Heap
+from .interp import do_action, initial_config
+
+
+def real_heap_of(world: World, state: State) -> Heap:
+    """The erased (physical) heap of a state: the union over concurroids."""
+    acc = EMPTY
+    for conc in world.concurroids:
+        acc = acc.join(conc.real_heap(state))
+    return acc
+
+
+def run_schedule(
+    world: World,
+    init: State,
+    prog: Prog,
+    *,
+    seed: int | None = None,
+    max_steps: int = 10_000,
+) -> tuple[Any, Heap]:
+    """Run one (seeded or deterministic) schedule to completion and return
+    ``(result, final real heap)``."""
+    config = initial_config(world, init, prog)
+    rng = random.Random(seed) if seed is not None else None
+    for __ in range(max_steps):
+        if config.done:
+            return config.result, real_heap_of(world, config.global_view())
+        tids = config.runnable_threads()
+        if not tids:
+            raise AssertionError("schedule stuck")
+        tid = rng.choice(tids) if rng else min(tids)
+        config = do_action(config, tid)
+    raise AssertionError(f"schedule did not finish within {max_steps} steps")
+
+
+def check_program_erasure(
+    world: World,
+    inits: Sequence[State],
+    prog_factory: Callable[[], Prog],
+    *,
+    seeds: Sequence[int | None] = (None, 1, 2),
+    max_issues: int = 5,
+) -> list[str]:
+    """Differentially execute ``prog`` from every initial state in
+    ``inits`` — which must all erase to the same real heap — under the
+    same schedules, and report any divergence in result or final heap.
+
+    Schedules are replayed by seed: the same seed makes the same
+    scheduling decisions in each run (thread ids are deterministic), so a
+    divergence can only come from auxiliary state leaking into behaviour.
+    """
+    issues: list[str] = []
+    if not inits:
+        return issues
+    baseline = real_heap_of(world, inits[0])
+    for init in inits[1:]:
+        if real_heap_of(world, init) != baseline:
+            issues.append("initial states do not erase to the same real heap")
+            return issues
+    for seed in seeds:
+        outcomes = []
+        for init in inits:
+            outcomes.append(run_schedule(world, init, prog_factory(), seed=seed))
+        result0, heap0 = outcomes[0]
+        for i, (result, heap) in enumerate(outcomes[1:], start=1):
+            if result != result0:
+                issues.append(
+                    f"seed {seed}: result diverges between aux variants 0 and {i}: "
+                    f"{result0!r} vs {result!r}"
+                )
+            if heap != heap0:
+                issues.append(
+                    f"seed {seed}: final real heap diverges between aux "
+                    f"variants 0 and {i}"
+                )
+            if len(issues) >= max_issues:
+                return issues
+    return issues

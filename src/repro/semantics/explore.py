@@ -1,0 +1,187 @@
+"""Schedule exploration: exhaustive, randomized and deterministic runs.
+
+The exhaustive explorer enumerates *every* interleaving of atomic actions
+(up to the step bound) and injects *every* environment interference step
+(up to the interference budget) between any two of them — the operational
+discharge of FCSL's quantification over schedules and environments.
+Configurations are memoized on structural position keys, so the search is
+over the reachable state *graph* rather than the schedule tree: spin
+loops converge instead of diverging (a futile retry reproduces its own
+key).  The randomized runner covers larger instances statistically; the
+deterministic runner is for demos and sanity tests.
+
+Partial correctness: paths that exceed the step bound are *truncated*, not
+failed (they correspond to executions that have not terminated yet), and
+the count of truncated paths is reported.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.errors import VerificationError
+from .interp import Config, do_action, env_successors
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A failed check with the trace that exhibits it."""
+
+    kind: str
+    message: str
+    trace: Trace | None = None
+
+    def __str__(self) -> str:
+        body = f"[{self.kind}] {self.message}"
+        if self.trace is not None and len(self.trace):
+            body += "\n  trace:\n    " + "\n    ".join(str(e) for e in self.trace)
+        return body
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of exploring (part of) the schedule space."""
+
+    terminals: list[Config] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+    explored: int = 0
+    truncated: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def results(self) -> list[Any]:
+        return [c.result for c in self.terminals]
+
+    def summary(self) -> str:
+        return (
+            f"explored={self.explored} terminals={len(self.terminals)} "
+            f"truncated={self.truncated} violations={len(self.violations)}"
+        )
+
+
+def explore(
+    config: Config,
+    *,
+    max_steps: int = 60,
+    env_budget: int = 0,
+    max_configs: int = 200_000,
+    on_terminal: Callable[[Config], str | None] | None = None,
+    dedupe: bool = True,
+) -> ExplorationResult:
+    """Exhaustive DFS over schedules (and interference, up to ``env_budget``).
+
+    ``on_terminal`` may return an error message to record a violation at a
+    terminal configuration (used for postcondition checking).
+
+    With ``dedupe`` (default) configurations are memoized on their
+    :meth:`~repro.semantics.interp.Config.position_key` — shared state plus
+    structural fingerprints of every thread's continuation — collapsing the
+    schedule *tree* into the reachable state *graph*.  The memo keeps a
+    reference to one representative config per key so fingerprint ids stay
+    valid.
+    """
+    result = ExplorationResult()
+    stack: list[tuple[Config, int]] = [(config, 0)]
+    seen: dict[tuple, Config] = {}
+    while stack:
+        current, env_used = stack.pop()
+        if dedupe:
+            try:
+                key = (env_used, current.position_key())
+            except Exception:  # noqa: BLE001 - unfingerprintable: fall back
+                key = None
+            if key is not None:
+                # Revisit only if we arrived with more remaining depth
+                # (fewer steps) than any previous visit.  Spin loops are
+                # pruned here: a futile retry reproduces its own position
+                # key and is never expanded twice.
+                prior = seen.get(key)
+                if prior is not None and prior.steps <= current.steps:
+                    continue
+                seen[key] = current
+        result.explored += 1
+        if result.explored > max_configs:
+            result.violations.append(
+                Violation("resource", f"exceeded max_configs={max_configs}")
+            )
+            return result
+        if current.done:
+            result.terminals.append(current)
+            if on_terminal is not None:
+                message = on_terminal(current)
+                if message:
+                    result.violations.append(Violation("postcondition", message, current.trace))
+            continue
+        if current.is_stuck():
+            result.violations.append(Violation("stuck", "no runnable thread", current.trace))
+            continue
+        if current.steps >= max_steps:
+            result.truncated += 1
+            continue
+        for tid in current.runnable_threads():
+            try:
+                stack.append((do_action(current, tid), env_used))
+            except VerificationError as exc:
+                result.violations.append(
+                    Violation(type(exc).__name__, str(exc), current.trace)
+                )
+        if env_used < env_budget:
+            try:
+                for succ in env_successors(current):
+                    stack.append((succ, env_used + 1))
+            except VerificationError as exc:
+                result.violations.append(
+                    Violation(type(exc).__name__, str(exc), current.trace)
+                )
+    return result
+
+
+def run_random(
+    config: Config,
+    rng: random.Random,
+    *,
+    max_steps: int = 10_000,
+    env_prob: float = 0.0,
+    env_budget: int = 0,
+) -> tuple[Config | None, list[Violation]]:
+    """One random schedule; returns the terminal config (or None if the step
+    bound was hit) and any violations encountered along the way."""
+    current = config
+    env_used = 0
+    for __ in range(max_steps):
+        if current.done:
+            return current, []
+        if current.is_stuck():
+            return None, [Violation("stuck", "no runnable thread", current.trace)]
+        try:
+            if env_used < env_budget and rng.random() < env_prob:
+                succs = list(env_successors(current))
+                if succs:
+                    current = rng.choice(succs)
+                    env_used += 1
+                    continue
+            tids = current.runnable_threads()
+            current = do_action(current, rng.choice(tids))
+        except VerificationError as exc:
+            return None, [Violation(type(exc).__name__, str(exc), current.trace)]
+    return None, []
+
+
+def run_deterministic(config: Config, *, max_steps: int = 10_000) -> Config:
+    """Run to completion always scheduling the lowest-numbered thread.
+
+    Raises on violations; for demos, quickstarts and sequential sanity runs.
+    """
+    current = config
+    for __ in range(max_steps):
+        if current.done:
+            return current
+        if current.is_stuck():
+            raise VerificationError("stuck configuration")
+        current = do_action(current, min(current.runnable_threads()))
+    raise VerificationError(f"program did not terminate within {max_steps} steps")

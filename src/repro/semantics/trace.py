@@ -1,0 +1,54 @@
+"""Execution traces.
+
+Every configuration carries the sequence of scheduling-visible events that
+produced it: atomic actions, environment steps, forks, joins and hide
+scope changes.  Traces drive the Figure 2 reproduction (the stages of the
+concurrent spanning-tree construction) and make verification
+counterexamples reportable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduling-visible step."""
+
+    kind: str  # "act" | "env" | "fork" | "join" | "hide" | "unhide" | "done"
+    tid: int
+    detail: str
+    args: tuple = ()
+    result: Any = None
+
+    def __str__(self) -> str:
+        if self.kind == "act":
+            args = ", ".join(repr(a) for a in self.args)
+            return f"t{self.tid}: {self.detail}({args}) = {self.result!r}"
+        if self.kind == "env":
+            return f"env: {self.detail}"
+        return f"t{self.tid}: {self.kind} {self.detail}"
+
+
+@dataclass
+class Trace:
+    """An append-only event log (copied cheaply across branching configs)."""
+
+    events: tuple[Event, ...] = field(default_factory=tuple)
+
+    def append(self, event: Event) -> "Trace":
+        return Trace(self.events + (event,))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def actions(self) -> list[Event]:
+        return [e for e in self.events if e.kind == "act"]
+
+    def pretty(self) -> str:
+        return "\n".join(str(e) for e in self.events)

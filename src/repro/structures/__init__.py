@@ -1,0 +1,8 @@
+"""The paper's case-study programs (Table 1) and their verifications.
+
+Each module exposes the structure (concurroid, actions, programs, specs)
+and a ``verify_*`` entry point; :mod:`repro.structures.registry` holds the
+metadata behind Tables 1-2 and Figure 5.  Import the submodules directly —
+e.g. ``from repro.structures.treiber import TreiberStructure`` — heavy
+imports are intentionally not re-exported here.
+"""

@@ -1,0 +1,191 @@
+"""The FC-stack (§4.2/§6): the flat combiner instantiated with a stack.
+
+"In our Coq implementation, we instantiated the FC structure with a
+sequential stack, showing that the result has the same spec as a
+concurrent stack implementation."  That is precisely what this module
+does: push/pop through ``flat_combine`` carry the same history-shaped
+specs as the Treiber stack's (:mod:`repro.structures.treiber`) —
+one fresh ``s ==> v·s`` entry per push, one ``v·s ==> s`` entry per pop —
+even though the operation may physically be run by a *different* thread
+(the combiner).
+
+A pure client of the FlatCombine library: no new concurroid, no new
+actions, no new stability lemmas — the "-" row of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.prog import Prog
+from ..core.spec import Spec
+from ..core.state import State
+from ..core.world import World
+from ..heap import Ptr, ptr
+from .flat_combiner import (
+    FlatCombiner,
+    FlatCombinerConcurroid,
+    initial_state,
+    seq_stack,
+)
+
+#: Publication slots for up to three client threads.
+SLOTS = (ptr(72), ptr(73), ptr(74))
+
+
+class FCStack:
+    """A concurrent stack whose engine is the flat combiner."""
+
+    def __init__(self, *, max_ops: int = 3, slots: tuple[Ptr, ...] = SLOTS[:2]):
+        self.concurroid = FlatCombinerConcurroid(
+            seq_stack(), slots=slots, max_ops=max_ops, arg_domain=(0, 1)
+        )
+        self.fc = FlatCombiner(self.concurroid)
+        self.slots = slots
+
+    def push(self, slot: Ptr, value: Any) -> Prog:
+        return self.fc.flat_combine(slot, "push", value)
+
+    def pop(self, slot: Ptr) -> Prog:
+        return self.fc.flat_combine(slot, "pop", None)
+
+    def world(self) -> World:
+        return World((self.concurroid,))
+
+    def initial_state(self, **kwargs) -> State:
+        return initial_state(self.concurroid, **kwargs)
+
+    # -- the Treiber-shaped specs -----------------------------------------------------
+
+    def push_spec(self, value: Any) -> Spec:
+        """Same shape as ``treiber.push_spec``: one fresh ``s ==> v·s``
+        entry ascribed to the caller."""
+        conc = self.concurroid
+
+        def pre(s: State) -> bool:
+            full = conc.full_history(s)
+            return full is not None and len(full) < conc.max_ops
+
+        def post(r: Any, s2: State, s1: State) -> bool:
+            h1, h2 = conc.my_contrib(s1), conc.my_contrib(s2)
+            fresh = h2.timestamps() - h1.timestamps()
+            if len(fresh) != 1:
+                return False
+            (ts,) = fresh
+            entry = h2[ts]
+            return entry.after == (value,) + entry.before
+
+        return Spec(f"fc_push_tp({value!r})", pre, post)
+
+    def pop_spec(self) -> Spec:
+        """Same shape as ``treiber.pop_spec``: pop-on-empty is receipt-free
+        (no history entry), a successful pop owns one ``v·s ==> s`` entry."""
+        conc = self.concurroid
+
+        def pre(s: State) -> bool:
+            full = conc.full_history(s)
+            return full is not None and len(full) < conc.max_ops
+
+        def post(r: Any, s2: State, s1: State) -> bool:
+            h1, h2 = conc.my_contrib(s1), conc.my_contrib(s2)
+            fresh = h2.timestamps() - h1.timestamps()
+            if r is None:
+                return not fresh
+            if len(fresh) != 1:
+                return False
+            (ts,) = fresh
+            entry = h2[ts]
+            return entry.before and entry.before[0] == r and entry.after == entry.before[1:]
+
+        return Spec("fc_pop_tp", pre, post)
+
+
+# -- verification (Table 1 row "FC-stack") ----------------------------------------------------
+
+
+def verify_fc_stack(*, env_budget: int = 2) -> "VerificationReport":
+    """Discharge the FC-stack obligations — a pure client of the flat
+    combiner (Libs + Main only, the "-" row of Table 1)."""
+    from ..core.prog import par
+    from ..core.spec import Scenario
+    from ..core.verify import ReportBuilder, VerificationReport, check_triple, triple_issues
+    from .flat_combiner import seq_stack as make_seq
+
+    builder = ReportBuilder("FC-stack")
+
+    def seq_oracle() -> list:
+        st = make_seq()
+        issues = []
+        if st.run("push", (), 1) != (None, (1,)):
+            issues.append("sequential push oracle broken")
+        if st.run("pop", (1,), None) != (1, ()):
+            issues.append("sequential pop oracle broken")
+        return issues
+
+    builder.obligation("sequential-stack-oracle", "Libs", seq_oracle)
+
+    stack = FCStack()
+    builder.obligation(
+        "fc-push-triple",
+        "Main",
+        lambda: triple_issues(
+            check_triple(
+                stack.world(),
+                stack.push_spec(1),
+                [Scenario(stack.initial_state(), stack.push(stack.slots[0], 1), label="fc push")],
+                max_steps=60,
+                env_budget=env_budget,
+            )
+        ),
+    )
+    builder.obligation(
+        "fc-pop-triple",
+        "Main",
+        lambda: triple_issues(
+            check_triple(
+                stack.world(),
+                stack.pop_spec(),
+                [
+                    Scenario(stack.initial_state(), stack.pop(stack.slots[0]), label="fc pop empty"),
+                ],
+                max_steps=60,
+                env_budget=env_budget,
+            )
+        ),
+    )
+
+    def par_post(r, s2, s1):
+        conc = stack.concurroid
+        __, popped = r
+        h2 = conc.my_contrib(s2)
+        pushes = [e for ___, e in h2.items() if len(e.after) > len(e.before)]
+        pops = [e for ___, e in h2.items() if len(e.after) < len(e.before)]
+        if len(pushes) != 1:
+            return False
+        if popped is None:
+            return not pops  # receipt-free empty pop
+        return len(pops) == 1 and pops[0].before[0] == popped
+
+    from ..core.spec import Spec
+
+    builder.obligation(
+        "fc-par-push-pop-triple",
+        "Main",
+        lambda: triple_issues(
+            check_triple(
+                stack.world(),
+                Spec("fc push||pop", lambda s: True, par_post),
+                [
+                    Scenario(
+                        stack.initial_state(),
+                        par(stack.push(stack.slots[0], 1), stack.pop(stack.slots[1])),
+                        label="fc push || fc pop",
+                    )
+                ],
+                max_steps=80,
+                env_budget=0,
+                max_configs=300_000,
+            )
+        ),
+    )
+    return builder.build()

@@ -1,0 +1,725 @@
+"""The flat combiner (§4.2, Hendler et al. [20]) — higher-order helping.
+
+``flat_combine(f, v)`` *registers* a sequential operation ``f`` with
+argument ``v`` in a publication slot instead of running it; some thread
+becomes the **combiner** (by taking the combiner lock) and executes every
+registered request on the shared sequential structure, depositing each
+result — together with a *receipt* describing the operation's effect — in
+the requester's slot.  The requester claims the receipt when it collects:
+that is how "the result of the work ... is ascribed to the initially
+assigned thread" (§1's helping pattern) without any action ever touching
+another thread's ``self``.
+
+The structure is **higher-order**: it is parametrized by an arbitrary
+sequential data structure (:class:`SeqStructure` — any state-and-ops
+bundle; ``f`` ranges over its operations), exactly as FCSL's FC is
+parametrized by ``fc_R``.  Receipts are time-stamped history entries, so
+the client-facing spec is::
+
+    { fc_self = h }  flat_combine f v
+    { exists entry (b ==> a):  f(b, v) = (w, a)  /\\  fc_self = h + entry }
+
+— the paper's ``fc_R f v w g`` with ``g`` a one-entry history.
+
+Protocol state per slot: ``free`` → ``idle`` (owned) → ``req f v`` →
+``resp w receipt`` → ``idle`` → ``free``.  Coherence ties the sequential
+structure's current state to the replay of *all* receipts: the collected
+ones (``self • other``) joined with the pending ones still sitting in
+``resp`` slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Mapping, Sequence
+
+from ..core.action import Action
+from ..core.concurroid import Concurroid, Transition
+from ..core.prog import Prog, act, bind, ffix, ret, seq
+from ..core.spec import Spec
+from ..core.state import State, SubjState, state_of
+from ..heap import Heap, Ptr, heap_of, ptr
+from ..pcm.base import PCM
+from ..pcm.histories import HistEntry, History, HistoryPCM
+from ..pcm.mutex import Mutex, MutexPCM
+from ..pcm.product import ProductPCM
+from ..pcm.setpcm import SetPCM
+
+FC_LABEL = "fc"
+FC_LOCK = ptr(70)
+DS_CELL = ptr(71)
+
+#: Slot contents.
+FREE = ("free",)
+IDLE = ("idle",)
+
+
+@dataclass(frozen=True)
+class SeqStructure:
+    """A sequential data structure: initial state + named operations.
+
+    Each operation maps ``(state, argument) -> (result, new_state)``.
+    This is the higher-order parameter of the flat combiner — any Python
+    function of that shape is an admissible ``f``.
+    """
+
+    name: str
+    initial: Hashable
+    ops: Mapping[str, Callable[[Hashable, Any], tuple[Any, Hashable]]]
+
+    def run(self, op: str, state: Hashable, arg: Any) -> tuple[Any, Hashable]:
+        return self.ops[op](state, arg)
+
+    def idle_ok(self, op: str, arg: Any, result: Any) -> bool:
+        """Whether ``op`` can return ``result`` without changing *some*
+        state — the witness for receipt-free (no-op) responses.  The
+        default probes the initial state, which covers the common case
+        (pop on an empty stack)."""
+        try:
+            r, after = self.run(op, self.initial, arg)
+        except Exception:  # noqa: BLE001
+            return False
+        return r == result and after == self.initial
+
+
+def seq_stack() -> SeqStructure:
+    """The sequential stack the paper instantiates FC with (§4.2)."""
+
+    def push(state: tuple, arg: Any) -> tuple[Any, tuple]:
+        return None, (arg,) + state
+
+    def pop(state: tuple, __: Any) -> tuple[Any, tuple]:
+        if not state:
+            return None, state
+        return state[0], state[1:]
+
+    return SeqStructure("seq-stack", (), {"push": push, "pop": pop})
+
+
+def seq_counter() -> SeqStructure:
+    """A second instance (fetch-and-add) showing the higher-order reuse."""
+
+    def add(state: int, arg: int) -> tuple[int, int]:
+        return state, state + arg
+
+    return SeqStructure("seq-counter", 0, {"add": add})
+
+
+class FlatCombinerConcurroid(Concurroid):
+    """The ``FlatCombine`` concurroid."""
+
+    def __init__(
+        self,
+        seq: SeqStructure,
+        slots: Sequence[Ptr] = (ptr(72), ptr(73)),
+        label: str = FC_LABEL,
+        max_ops: int = 3,
+        arg_domain: Sequence[Any] = (0, 1),
+    ):
+        self._seq = seq
+        self._slots = tuple(slots)
+        self._label = label
+        self._max_ops = max_ops
+        self._args = tuple(arg_domain)
+        self._hist = HistoryPCM()
+        self._pcm = ProductPCM(MutexPCM(), SetPCM(), HistoryPCM())
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return (self._label,)
+
+    @property
+    def seq(self) -> SeqStructure:
+        return self._seq
+
+    @property
+    def slots(self) -> tuple[Ptr, ...]:
+        return self._slots
+
+    @property
+    def max_ops(self) -> int:
+        return self._max_ops
+
+    def pcms(self) -> Mapping[str, PCM]:
+        return {self._label: self._pcm}
+
+    # -- projections ----------------------------------------------------------------
+
+    @staticmethod
+    def mutex_of(comp: Hashable) -> Mutex:
+        return comp[0]
+
+    @staticmethod
+    def slots_of(comp: Hashable) -> frozenset:
+        return comp[1]
+
+    @staticmethod
+    def hist_of(comp: Hashable) -> History:
+        return comp[2]
+
+    def ds_value(self, state: State) -> Hashable:
+        return state.joint_of(self._label)[DS_CELL]
+
+    def pending_receipts(self, state: State) -> dict[int, HistEntry]:
+        """Receipts deposited in ``resp`` slots but not yet collected."""
+        joint = state.joint_of(self._label)
+        out: dict[int, HistEntry] = {}
+        for p in self._slots:
+            cell = joint[p]
+            if cell[0] == "resp":
+                __, ___, ts, entry = cell
+                if ts is not None:
+                    out[ts] = entry
+        return out
+
+    def full_history(self, state: State) -> History | None:
+        """Collected plus pending receipts; ``None`` if they clash."""
+        comp = state[self._label]
+        total = self._hist.join(self.hist_of(comp.self_), self.hist_of(comp.other))
+        if not self._hist.valid(total):
+            return None
+        pending = self.pending_receipts(state)
+        if set(pending) & total.timestamps():
+            return None
+        merged = {ts: total[ts] for ts in total.timestamps()}
+        merged.update(pending)
+        return History(merged)
+
+    def my_contrib(self, state: State) -> History:
+        return self.hist_of(state.self_of(self._label))
+
+    # -- coherence --------------------------------------------------------------------
+
+    def coherent(self, state: State) -> bool:
+        if self._label not in state:
+            return False
+        comp = state[self._label]
+        joint = comp.joint
+        if not isinstance(joint, Heap) or not joint.is_valid:
+            return False
+        expected_dom = frozenset((FC_LOCK, DS_CELL)) | frozenset(self._slots)
+        if joint.dom() != expected_dom:
+            return False
+        if not isinstance(joint[FC_LOCK], bool):
+            return False
+        if not self._pcm.valid(self._pcm.join(comp.self_, comp.other)):
+            return False
+        held = (
+            self.mutex_of(comp.self_) is Mutex.OWN
+            or self.mutex_of(comp.other) is Mutex.OWN
+        )
+        if joint[FC_LOCK] != held:
+            return False
+        owned = self.slots_of(comp.self_) | self.slots_of(comp.other)
+        if not owned <= frozenset(self._slots):
+            return False
+        for p in self._slots:
+            cell = joint[p]
+            if not isinstance(cell, tuple) or not cell:
+                return False
+            kind = cell[0]
+            if kind == "free":
+                if p in owned:
+                    return False
+            elif kind in ("idle", "req", "resp"):
+                if p not in owned:
+                    return False
+                if kind == "req" and cell[1] not in self._seq.ops:
+                    return False
+            else:
+                return False
+        full = self.full_history(state)
+        if full is None:
+            return False
+        if not full.continuous_from(self._seq.initial):
+            return False
+        return full.final_state(self._seq.initial) == self.ds_value(state)
+
+    # -- transitions --------------------------------------------------------------------
+
+    def transitions(self) -> Sequence[Transition]:
+        lbl = self._label
+
+        def upd(state: State, fn) -> State:
+            return state.update(lbl, fn)
+
+        # 1. acquire a free slot
+        def acq_params(state: State) -> Iterator[Ptr]:
+            joint = state.joint_of(lbl)
+            for p in self._slots:
+                if joint[p] == FREE:
+                    yield p
+
+        def acq_requires(state: State, p: Ptr) -> bool:
+            return state.joint_of(lbl)[p] == FREE
+
+        def acq_effect(state: State, p: Ptr) -> State:
+            def go(c: SubjState) -> SubjState:
+                m, s, h = c.self_
+                return SubjState((m, s | {p}, h), c.joint.update(p, IDLE), c.other)
+
+            return upd(state, go)
+
+        # 2. register a request in an owned idle slot
+        def reg_params(state: State) -> Iterator[tuple]:
+            comp = state[lbl]
+            # None is always an admissible argument (ops like pop take none).
+            arg_domain = self._args + (None,)
+            for p in self.slots_of(comp.self_):
+                if comp.joint[p] == IDLE:
+                    for op in sorted(self._seq.ops):
+                        for a in arg_domain:
+                            yield (p, op, a)
+
+        def reg_requires(state: State, param: tuple) -> bool:
+            p, op, __ = param
+            comp = state[lbl]
+            return (
+                p in self.slots_of(comp.self_)
+                and comp.joint[p] == IDLE
+                and op in self._seq.ops
+            )
+
+        def reg_effect(state: State, param: tuple) -> State:
+            p, op, a = param
+            return upd(state, lambda c: c.with_joint(c.joint.update(p, ("req", op, a))))
+
+        # 3. take the combiner lock
+        def lock_requires(state: State, __: Any) -> bool:
+            comp = state[lbl]
+            return not comp.joint[FC_LOCK] and self.mutex_of(comp.self_) is Mutex.NOT_OWN
+
+        def lock_effect(state: State, __: Any) -> State:
+            def go(c: SubjState) -> SubjState:
+                m, s, h = c.self_
+                return SubjState(
+                    (Mutex.OWN, s, h), c.joint.update(FC_LOCK, True), c.other
+                )
+
+            return upd(state, go)
+
+        # 4. help one pending request (combiner only)
+        def help_params(state: State) -> Iterator[Ptr]:
+            joint = state.joint_of(lbl)
+            for p in self._slots:
+                if joint[p][0] == "req":
+                    yield p
+
+        def help_requires(state: State, p: Ptr) -> bool:
+            comp = state[lbl]
+            if self.mutex_of(comp.self_) is not Mutex.OWN:
+                return False
+            if comp.joint[p][0] != "req":
+                return False
+            __, op, a = comp.joint[p]
+            before = self.ds_value(state)
+            ___, after = self._seq.run(op, before, a)
+            if after == before:
+                return True  # no-op help consumes no history budget
+            full = self.full_history(state)
+            return full is not None and len(full) < self._max_ops
+
+        def help_effect(state: State, p: Ptr) -> State:
+            comp = state[lbl]
+            __, op, a = comp.joint[p]
+            before = self.ds_value(state)
+            result, after = self._seq.run(op, before, a)
+            if after == before:
+                # No state change: respond without a receipt (like a failed
+                # CAS, this is protocol-idle on the history).
+                new_joint = comp.joint.update(p, ("resp", result, None, None))
+                return upd(state, lambda c: c.with_joint(new_joint))
+            ts = self.full_history(state).last_timestamp() + 1
+            receipt = HistEntry(before, after)
+            new_joint = comp.joint.update(DS_CELL, after).update(
+                p, ("resp", result, ts, receipt)
+            )
+            return upd(state, lambda c: c.with_joint(new_joint))
+
+        # 5. release the combiner lock
+        def unlock_requires(state: State, __: Any) -> bool:
+            return self.mutex_of(state[lbl].self_) is Mutex.OWN
+
+        def unlock_effect(state: State, __: Any) -> State:
+            def go(c: SubjState) -> SubjState:
+                m, s, h = c.self_
+                return SubjState(
+                    (Mutex.NOT_OWN, s, h), c.joint.update(FC_LOCK, False), c.other
+                )
+
+            return upd(state, go)
+
+        # 6. collect one's response, claiming the receipt
+        def col_params(state: State) -> Iterator[Ptr]:
+            comp = state[lbl]
+            for p in self.slots_of(comp.self_):
+                if comp.joint[p][0] == "resp":
+                    yield p
+
+        def col_requires(state: State, p: Ptr) -> bool:
+            comp = state[lbl]
+            return p in self.slots_of(comp.self_) and comp.joint[p][0] == "resp"
+
+        def col_effect(state: State, p: Ptr) -> State:
+            def go(c: SubjState) -> SubjState:
+                m, s, h = c.self_
+                __, ___, ts, receipt = c.joint[p]
+                if ts is not None:
+                    h = h.extend(ts, receipt)
+                return SubjState((m, s, h), c.joint.update(p, IDLE), c.other)
+
+            return upd(state, go)
+
+        # 7. release an owned idle slot
+        def rel_params(state: State) -> Iterator[Ptr]:
+            comp = state[lbl]
+            for p in self.slots_of(comp.self_):
+                if comp.joint[p] == IDLE:
+                    yield p
+
+        def rel_requires(state: State, p: Ptr) -> bool:
+            comp = state[lbl]
+            return p in self.slots_of(comp.self_) and comp.joint[p] == IDLE
+
+        def rel_effect(state: State, p: Ptr) -> State:
+            def go(c: SubjState) -> SubjState:
+                m, s, h = c.self_
+                return SubjState((m, s - {p}, h), c.joint.update(p, FREE), c.other)
+
+            return upd(state, go)
+
+        return (
+            Transition(f"{lbl}.acquire_slot", acq_requires, acq_effect, acq_params),
+            Transition(f"{lbl}.register", reg_requires, reg_effect, reg_params),
+            Transition(f"{lbl}.combine_lock", lock_requires, lock_effect),
+            Transition(f"{lbl}.help", help_requires, help_effect, help_params),
+            Transition(f"{lbl}.combine_unlock", unlock_requires, unlock_effect),
+            Transition(f"{lbl}.collect", col_requires, col_effect, col_params),
+            Transition(f"{lbl}.release_slot", rel_requires, rel_effect, rel_params),
+        )
+
+    # -- initial states --------------------------------------------------------------------
+
+    def initial(
+        self,
+        self_hist: History | None = None,
+        other_hist: History | None = None,
+    ) -> SubjState:
+        self_hist = self_hist if self_hist is not None else History()
+        other_hist = other_hist if other_hist is not None else History()
+        total = self._hist.join(self_hist, other_hist)
+        ds = total.final_state(self._seq.initial)
+        cells = {FC_LOCK: False, DS_CELL: ds}
+        cells.update({p: FREE for p in self._slots})
+        return SubjState(
+            (Mutex.NOT_OWN, frozenset(), self_hist),
+            heap_of(cells),
+            (Mutex.NOT_OWN, frozenset(), other_hist),
+        )
+
+
+# -- atomic actions ----------------------------------------------------------------------------
+
+
+class _FCAction(Action):
+    def __init__(self, conc: FlatCombinerConcurroid, name: str):
+        super().__init__(conc)
+        self.fc = conc
+        self.name = f"{conc.label}.{name}"
+
+
+class TryAcquireSlotAction(_FCAction):
+    """CAS a slot from free to owned; False if taken."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        super().__init__(conc, "try_acquire_slot")
+
+    def safe(self, state: State, p: Ptr) -> bool:
+        return self.fc.label in state and p in self.fc.slots
+
+    def step(self, state: State, p: Ptr) -> tuple[bool, State]:
+        comp = state[self.fc.label]
+        if comp.joint[p] != FREE:
+            return False, state
+        m, s, h = comp.self_
+        new = SubjState((m, s | {p}, h), comp.joint.update(p, IDLE), comp.other)
+        return True, state.set(self.fc.label, new)
+
+    def footprint(self, state: State, p: Ptr) -> frozenset[Ptr]:
+        return frozenset((p,))
+
+
+class RegisterAction(_FCAction):
+    """Publish a request in one's own idle slot."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        super().__init__(conc, "register")
+
+    def safe(self, state: State, p: Ptr, op: str, arg: Any) -> bool:
+        if self.fc.label not in state:
+            return False
+        comp = state[self.fc.label]
+        return (
+            p in self.fc.slots_of(comp.self_)
+            and comp.joint[p] == IDLE
+            and op in self.fc.seq.ops
+        )
+
+    def step(self, state: State, p: Ptr, op: str, arg: Any) -> tuple[None, State]:
+        return None, state.update(
+            self.fc.label, lambda c: c.with_joint(c.joint.update(p, ("req", op, arg)))
+        )
+
+    def footprint(self, state: State, p: Ptr, op: str, arg: Any) -> frozenset[Ptr]:
+        return frozenset((p,))
+
+
+class ReadSlotAction(_FCAction):
+    """Read one's slot (to see whether the combiner has helped)."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        super().__init__(conc, "read_slot")
+
+    def safe(self, state: State, p: Ptr) -> bool:
+        if self.fc.label not in state:
+            return False
+        comp = state[self.fc.label]
+        return p in self.fc.slots_of(comp.self_)
+
+    def step(self, state: State, p: Ptr) -> tuple[tuple, State]:
+        return state.joint_of(self.fc.label)[p], state
+
+
+class TryCombineLockAction(_FCAction):
+    """CAS the combiner lock."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        super().__init__(conc, "try_combine_lock")
+
+    def safe(self, state: State, *args: Any) -> bool:
+        return self.fc.label in state
+
+    def step(self, state: State, *args: Any) -> tuple[bool, State]:
+        comp = state[self.fc.label]
+        if comp.joint[FC_LOCK]:
+            return False, state
+        if self.fc.mutex_of(comp.self_) is Mutex.OWN:
+            return False, state
+        m, s, h = comp.self_
+        new = SubjState(
+            (Mutex.OWN, s, h), comp.joint.update(FC_LOCK, True), comp.other
+        )
+        return True, state.set(self.fc.label, new)
+
+    def footprint(self, state: State, *args: Any) -> frozenset[Ptr]:
+        return frozenset((FC_LOCK,))
+
+
+class HelpAction(_FCAction):
+    """Execute one pending request as the combiner; no-op if the slot is
+    not (or no longer) a request."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        super().__init__(conc, "help")
+
+    def safe(self, state: State, p: Ptr) -> bool:
+        if self.fc.label not in state or p not in self.fc.slots:
+            return False
+        comp = state[self.fc.label]
+        if self.fc.mutex_of(comp.self_) is not Mutex.OWN:
+            return False
+        if comp.joint[p][0] != "req":
+            return True  # no-op path
+        __, op, a = comp.joint[p]
+        before = self.fc.ds_value(state)
+        ___, after = self.fc.seq.run(op, before, a)
+        if after == before:
+            return True  # receipt-free response, no budget needed
+        full = self.fc.full_history(state)
+        return full is not None and len(full) < self.fc.max_ops
+
+    def step(self, state: State, p: Ptr) -> tuple[None, State]:
+        comp = state[self.fc.label]
+        if comp.joint[p][0] != "req":
+            return None, state
+        __, op, a = comp.joint[p]
+        before = self.fc.ds_value(state)
+        result, after = self.fc.seq.run(op, before, a)
+        if after == before:
+            new_joint = comp.joint.update(p, ("resp", result, None, None))
+            return None, state.update(
+                self.fc.label, lambda c: c.with_joint(new_joint)
+            )
+        ts = self.fc.full_history(state).last_timestamp() + 1
+        receipt = HistEntry(before, after)
+        new_joint = comp.joint.update(DS_CELL, after).update(
+            p, ("resp", result, ts, receipt)
+        )
+        return None, state.update(self.fc.label, lambda c: c.with_joint(new_joint))
+
+    def footprint(self, state: State, p: Ptr) -> frozenset[Ptr]:
+        return frozenset((p, DS_CELL))
+
+
+class CombineUnlockAction(_FCAction):
+    """Release the combiner lock."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        super().__init__(conc, "combine_unlock")
+
+    def safe(self, state: State, *args: Any) -> bool:
+        if self.fc.label not in state:
+            return False
+        return self.fc.mutex_of(state[self.fc.label].self_) is Mutex.OWN
+
+    def step(self, state: State, *args: Any) -> tuple[None, State]:
+        comp = state[self.fc.label]
+        m, s, h = comp.self_
+        new = SubjState(
+            (Mutex.NOT_OWN, s, h), comp.joint.update(FC_LOCK, False), comp.other
+        )
+        return None, state.set(self.fc.label, new)
+
+    def footprint(self, state: State, *args: Any) -> frozenset[Ptr]:
+        return frozenset((FC_LOCK,))
+
+
+class CollectAction(_FCAction):
+    """Take the response from one's slot, claiming the receipt — the
+    moment the helped work is *ascribed* to this thread."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        super().__init__(conc, "collect")
+
+    def safe(self, state: State, p: Ptr) -> bool:
+        if self.fc.label not in state:
+            return False
+        comp = state[self.fc.label]
+        return p in self.fc.slots_of(comp.self_) and comp.joint[p][0] == "resp"
+
+    def step(self, state: State, p: Ptr) -> tuple[Any, State]:
+        comp = state[self.fc.label]
+        __, result, ts, receipt = comp.joint[p]
+        m, s, h = comp.self_
+        if ts is not None:
+            h = h.extend(ts, receipt)
+        new = SubjState((m, s, h), comp.joint.update(p, IDLE), comp.other)
+        return result, state.set(self.fc.label, new)
+
+    def footprint(self, state: State, p: Ptr) -> frozenset[Ptr]:
+        return frozenset((p,))
+
+
+class ReleaseSlotAction(_FCAction):
+    """Return one's idle slot to the free pool."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        super().__init__(conc, "release_slot")
+
+    def safe(self, state: State, p: Ptr) -> bool:
+        if self.fc.label not in state:
+            return False
+        comp = state[self.fc.label]
+        return p in self.fc.slots_of(comp.self_) and comp.joint[p] == IDLE
+
+    def step(self, state: State, p: Ptr) -> tuple[None, State]:
+        comp = state[self.fc.label]
+        m, s, h = comp.self_
+        new = SubjState((m, s - {p}, h), comp.joint.update(p, FREE), comp.other)
+        return None, state.set(self.fc.label, new)
+
+    def footprint(self, state: State, p: Ptr) -> frozenset[Ptr]:
+        return frozenset((p,))
+
+
+class FlatCombiner:
+    """The structure: concurroid + actions + the ``flat_combine`` program."""
+
+    def __init__(self, conc: FlatCombinerConcurroid):
+        self.concurroid = conc
+        self.try_acquire_slot = TryAcquireSlotAction(conc)
+        self.register = RegisterAction(conc)
+        self.read_slot = ReadSlotAction(conc)
+        self.try_combine_lock = TryCombineLockAction(conc)
+        self.help = HelpAction(conc)
+        self.combine_unlock = CombineUnlockAction(conc)
+        self.collect = CollectAction(conc)
+        self.release_slot = ReleaseSlotAction(conc)
+
+    def _combine_all(self) -> Prog:
+        """Help every slot in order (no-ops where there is no request)."""
+        steps = [act(self.help, p) for p in self.concurroid.slots]
+        return seq(*steps) if steps else ret(None)
+
+    def flat_combine(self, slot: Ptr, op: str, arg: Any) -> Prog:
+        """Acquire ``slot``, publish ``(op, arg)``, then wait — combining
+        if the combiner lock is free — and collect the result."""
+
+        def wait(loop) -> Prog:
+            def dispatch(cell: tuple) -> Prog:
+                if cell[0] == "resp":
+                    return bind(
+                        act(self.collect, slot),
+                        lambda w: bind(
+                            act(self.release_slot, slot), lambda __: ret(w)
+                        ),
+                    )
+                return bind(
+                    act(self.try_combine_lock),
+                    lambda got: (
+                        seq(self._combine_all(), act(self.combine_unlock), loop())
+                        if got
+                        else loop()
+                    ),
+                )
+
+            return bind(act(self.read_slot, slot), dispatch)
+
+        acquire_spin = ffix(
+            lambda loop: lambda: bind(
+                act(self.try_acquire_slot, slot),
+                lambda got: ret(None) if got else loop(),
+            ),
+            label="fc.acquire_slot",
+        )
+        wait_loop = ffix(lambda loop: lambda: wait(loop), label="fc.wait")
+        return seq(
+            acquire_spin(),
+            act(self.register, slot, op, arg),
+            wait_loop(),
+        )
+
+
+def initial_state(conc: FlatCombinerConcurroid, **kwargs) -> State:
+    return state_of(**{conc.label: conc.initial(**kwargs)})
+
+
+# -- specification -------------------------------------------------------------------------------
+
+
+def flat_combine_spec(conc: FlatCombinerConcurroid, op: str, arg: Any) -> Spec:
+    """§4.2's spec: the caller ends up owning exactly one new receipt
+    ``b ==> a`` with ``f(b, arg) = (w, a)`` — even when the work was done
+    by another thread (helping).  A state-preserving execution (e.g. pop
+    on an empty stack) is receipt-free: no fresh entry, and the result is
+    witnessed by ``idle_ok``."""
+
+    def pre(s: State) -> bool:
+        full = conc.full_history(s)
+        return full is not None and len(full) < conc.max_ops
+
+    def post(w: Any, s2: State, s1: State) -> bool:
+        h1, h2 = conc.my_contrib(s1), conc.my_contrib(s2)
+        fresh = h2.timestamps() - h1.timestamps()
+        if not fresh:
+            return conc.seq.idle_ok(op, arg, w)
+        if len(fresh) != 1:
+            return False
+        (ts,) = fresh
+        entry = h2[ts]
+        if entry.after == entry.before:
+            return False  # no-ops must be receipt-free
+        expected_result, expected_after = conc.seq.run(op, entry.before, arg)
+        return w == expected_result and entry.after == expected_after
+
+    return Spec(f"flat_combine_tp({op}, {arg!r})", pre, post)

@@ -1,0 +1,6 @@
+"""Lock implementations behind the abstract lock interface (Figure 5)."""
+
+from .caslock import CASLock, CASLockConcurroid, make_cas_lock
+from .interface import AbstractLock, critical_section
+
+__all__ = ["CASLock", "CASLockConcurroid", "make_cas_lock", "AbstractLock", "critical_section"]

@@ -1,0 +1,396 @@
+"""The CAS-based spinlock (§6: "CAS-lock").
+
+Protocol (concurroid ``CLock``): the joint heap holds a lock bit and the
+protected resource cells.  The subjective components live in the PCM
+``mutex × client``: the mutex half says who holds the lock, the client
+half carries the lock-protected auxiliary contributions (e.g. "how much
+this thread added to the counter" for the CG incrementor).
+
+Coherence ties the physical bit to the auxiliary mutex (the bit is set iff
+somebody owns the lock) and requires the client resource invariant
+whenever the lock is free.  Transitions:
+
+* ``lock`` — CAS the bit from free to held, taking mutex ownership;
+* ``unlock`` — clear the bit, release ownership, and *simultaneously*
+  publish a new client contribution that restores the invariant;
+* ``crit`` — mutate a resource cell (enabled only for the lock holder).
+
+The resource stays in the joint component, guarded by ``OWN``-ship; this
+models the paper's exclusive access discipline without the heap-transfer
+entanglement (which this repo exercises separately in the allocator's
+connector, §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from ...core.action import Action
+from ...core.concurroid import Concurroid, Transition
+from ...core.prog import Prog, act, bind, ffix, ret
+from ...core.state import State, SubjState
+from ...heap import Heap, Ptr, pts
+from ...pcm.base import PCM
+from ...pcm.mutex import Mutex, MutexPCM
+from ...pcm.product import ProductPCM
+from .interface import AbstractLock, ResourceInvariant
+
+
+class CASLockConcurroid(Concurroid):
+    """The ``CLock`` concurroid."""
+
+    def __init__(
+        self,
+        label: str,
+        lock_ptr: Ptr,
+        client_pcm: PCM,
+        inv: ResourceInvariant,
+        *,
+        crit_values: Sequence[Any] = (0, 1),
+        aux_candidates: Callable[[State], Iterable[Any]] | None = None,
+    ):
+        self._label = label
+        self._lock_ptr = lock_ptr
+        self._client = client_pcm
+        self._inv = inv
+        self._crit_values = tuple(crit_values)
+        self._aux_candidates = aux_candidates or (lambda __: client_pcm.sample())
+        self._pcm = ProductPCM(MutexPCM(), client_pcm)
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return (self._label,)
+
+    @property
+    def lock_ptr(self) -> Ptr:
+        return self._lock_ptr
+
+    @property
+    def client_pcm(self) -> PCM:
+        return self._client
+
+    def pcms(self) -> Mapping[str, PCM]:
+        return {self._label: self._pcm}
+
+    # -- projections ---------------------------------------------------------------
+
+    def resource(self, state: State) -> Heap:
+        joint = state.joint_of(self._label)
+        return joint.free(self._lock_ptr)
+
+    def bit(self, state: State) -> bool:
+        return state.joint_of(self._label)[self._lock_ptr]
+
+    def mutex_of(self, comp: Hashable) -> Mutex:
+        return comp[0]
+
+    def aux_of(self, comp: Hashable) -> Hashable:
+        return comp[1]
+
+    def client_total(self, state: State) -> Hashable:
+        comp = state[self._label]
+        return self._client.join(self.aux_of(comp.self_), self.aux_of(comp.other))
+
+    # -- coherence -------------------------------------------------------------------
+
+    def coherent(self, state: State) -> bool:
+        if self._label not in state:
+            return False
+        comp = state[self._label]
+        joint = comp.joint
+        if not isinstance(joint, Heap) or not joint.is_valid:
+            return False
+        if self._lock_ptr not in joint or not isinstance(joint[self._lock_ptr], bool):
+            return False
+        if not self._pcm.valid(self._pcm.join(comp.self_, comp.other)):
+            return False
+        held = (
+            self.mutex_of(comp.self_) is Mutex.OWN
+            or self.mutex_of(comp.other) is Mutex.OWN
+        )
+        if joint[self._lock_ptr] != held:
+            return False
+        if not held and not self._inv(self.resource(state), self.client_total(state)):
+            return False
+        return True
+
+    # -- transitions --------------------------------------------------------------------
+
+    def transitions(self) -> Sequence[Transition]:
+        lbl, lp = self._label, self._lock_ptr
+
+        def lock_requires(state: State, __: Any) -> bool:
+            comp = state[lbl]
+            return not comp.joint[lp] and self.mutex_of(comp.self_) is Mutex.NOT_OWN
+
+        def lock_effect(state: State, __: Any) -> State:
+            def upd(comp: SubjState) -> SubjState:
+                return SubjState(
+                    (Mutex.OWN, self.aux_of(comp.self_)),
+                    comp.joint.update(lp, True),
+                    comp.other,
+                )
+
+            return state.update(lbl, upd)
+
+        def unlock_params(state: State) -> Iterator[Any]:
+            yield from self._aux_candidates(state)
+
+        def unlock_requires(state: State, new_aux: Any) -> bool:
+            comp = state[lbl]
+            if self.mutex_of(comp.self_) is not Mutex.OWN:
+                return False
+            total = self._client.join(new_aux, self.aux_of(comp.other))
+            if not self._client.valid(total):
+                return False
+            return self._inv(comp.joint.free(lp), total)
+
+        def unlock_effect(state: State, new_aux: Any) -> State:
+            def upd(comp: SubjState) -> SubjState:
+                return SubjState(
+                    (Mutex.NOT_OWN, new_aux),
+                    comp.joint.update(lp, False),
+                    comp.other,
+                )
+
+            return state.update(lbl, upd)
+
+        def crit_params(state: State) -> Iterator[tuple[Ptr, Any]]:
+            comp = state[lbl]
+            for p in sorted(comp.joint.dom(), key=lambda q: q.addr):
+                if p == lp:
+                    continue
+                for v in self._crit_values:
+                    yield (p, v)
+
+        def crit_requires(state: State, param: tuple[Ptr, Any]) -> bool:
+            comp = state[lbl]
+            p, __ = param
+            return self.mutex_of(comp.self_) is Mutex.OWN and p in comp.joint and p != lp
+
+        def crit_effect(state: State, param: tuple[Ptr, Any]) -> State:
+            p, v = param
+            return state.update(lbl, lambda c: c.with_joint(c.joint.update(p, v)))
+
+        return (
+            Transition(f"{lbl}.lock", lock_requires, lock_effect),
+            Transition(f"{lbl}.unlock", unlock_requires, unlock_effect, unlock_params),
+            Transition(f"{lbl}.crit", crit_requires, crit_effect, crit_params),
+        )
+
+    # -- initial states --------------------------------------------------------------------
+
+    def initial(
+        self,
+        resource: Heap,
+        self_aux: Hashable | None = None,
+        other_aux: Hashable | None = None,
+    ) -> SubjState:
+        """A free-lock component with the given resource heap and auxes."""
+        self_aux = self._client.unit if self_aux is None else self_aux
+        other_aux = self._client.unit if other_aux is None else other_aux
+        return SubjState(
+            (Mutex.NOT_OWN, self_aux),
+            pts(self._lock_ptr, False).join(resource),
+            (Mutex.NOT_OWN, other_aux),
+        )
+
+
+# -- atomic actions ------------------------------------------------------------------------
+
+
+class TryAcquireAction(Action):
+    """CAS on the lock bit; takes mutex ownership on success."""
+
+    def __init__(self, lock: "CASLock"):
+        super().__init__(lock.concurroid)
+        self._lock = lock
+        self.name = f"{lock.concurroid.label}.try_acquire"
+
+    def safe(self, state: State, *args: Any) -> bool:
+        conc = self._lock.concurroid
+        return conc.label in state and conc.lock_ptr in state.joint_of(conc.label)
+
+    def step(self, state: State, *args: Any) -> tuple[Any, State]:
+        conc = self._lock.concurroid
+        comp = state[conc.label]
+        if comp.joint[conc.lock_ptr]:
+            return False, state
+        if conc.mutex_of(comp.self_) is Mutex.OWN:
+            return False, state  # re-entrant attempt: CAS fails (bit is off only if nobody owns)
+        new = SubjState(
+            (Mutex.OWN, conc.aux_of(comp.self_)),
+            comp.joint.update(conc.lock_ptr, True),
+            comp.other,
+        )
+        return True, state.set(conc.label, new)
+
+    def footprint(self, state: State, *args: Any) -> frozenset[Ptr]:
+        return frozenset((self._lock.concurroid.lock_ptr,))
+
+
+class ReleaseAction(Action):
+    """Clear the bit and publish the new client contribution."""
+
+    def __init__(self, lock: "CASLock", aux_of: Callable[[Any], Any]):
+        super().__init__(lock.concurroid)
+        self._lock = lock
+        self._aux_of = aux_of
+        self.name = f"{lock.concurroid.label}.release"
+
+    def safe(self, state: State, *args: Any) -> bool:
+        conc = self._lock.concurroid
+        if conc.label not in state:
+            return False
+        comp = state[conc.label]
+        if conc.mutex_of(comp.self_) is not Mutex.OWN:
+            return False
+        new_aux = self._aux_of(conc.aux_of(comp.self_))
+        total = conc.client_pcm.join(new_aux, conc.aux_of(comp.other))
+        if not conc.client_pcm.valid(total):
+            return False
+        return conc._inv(comp.joint.free(conc.lock_ptr), total)
+
+    def step(self, state: State, *args: Any) -> tuple[Any, State]:
+        conc = self._lock.concurroid
+        comp = state[conc.label]
+        new_aux = self._aux_of(conc.aux_of(comp.self_))
+        new = SubjState(
+            (Mutex.NOT_OWN, new_aux),
+            comp.joint.update(conc.lock_ptr, False),
+            comp.other,
+        )
+        return None, state.set(conc.label, new)
+
+    def footprint(self, state: State, *args: Any) -> frozenset[Ptr]:
+        return frozenset((self._lock.concurroid.lock_ptr,))
+
+
+class ReadResAction(Action):
+    """Read a resource cell; requires holding the lock."""
+
+    def __init__(self, lock: "CASLock"):
+        super().__init__(lock.concurroid)
+        self._lock = lock
+        self.name = f"{lock.concurroid.label}.read"
+
+    def safe(self, state: State, p: Ptr) -> bool:
+        conc = self._lock.concurroid
+        if conc.label not in state:
+            return False
+        comp = state[conc.label]
+        return (
+            conc.mutex_of(comp.self_) is Mutex.OWN
+            and p in comp.joint
+            and p != conc.lock_ptr
+        )
+
+    def step(self, state: State, p: Ptr) -> tuple[Any, State]:
+        return state.joint_of(self._lock.concurroid.label)[p], state
+
+
+class WriteResAction(Action):
+    """Write a resource cell; requires holding the lock."""
+
+    def __init__(self, lock: "CASLock"):
+        super().__init__(lock.concurroid)
+        self._lock = lock
+        self.name = f"{lock.concurroid.label}.write"
+
+    def safe(self, state: State, p: Ptr, value: Any) -> bool:
+        conc = self._lock.concurroid
+        if conc.label not in state:
+            return False
+        comp = state[conc.label]
+        return (
+            conc.mutex_of(comp.self_) is Mutex.OWN
+            and p in comp.joint
+            and p != conc.lock_ptr
+        )
+
+    def step(self, state: State, p: Ptr, value: Any) -> tuple[Any, State]:
+        conc = self._lock.concurroid
+        return None, state.update(conc.label, lambda c: c.with_joint(c.joint.update(p, value)))
+
+    def footprint(self, state: State, p: Ptr, value: Any) -> frozenset[Ptr]:
+        return frozenset((p,))
+
+
+class CASLock(AbstractLock):
+    """The abstract-lock instance backed by :class:`CASLockConcurroid`."""
+
+    def __init__(self, concurroid: CASLockConcurroid):
+        self._conc = concurroid
+        self._try_acquire = TryAcquireAction(self)
+        self._read = ReadResAction(self)
+        self._write = WriteResAction(self)
+
+    @property
+    def concurroid(self) -> CASLockConcurroid:
+        return self._conc
+
+    @property
+    def client_pcm(self) -> PCM:
+        return self._conc.client_pcm
+
+    def acquire(self) -> Prog:
+        spin = ffix(
+            lambda loop: lambda: bind(
+                act(self._try_acquire), lambda got: ret(None) if got else loop()
+            ),
+            label=f"{self._conc.label}.acquire",
+        )
+        return spin()
+
+    def release(self, aux_of: Callable[[Any], Any]) -> Prog:
+        return act(ReleaseAction(self, aux_of))
+
+    def read(self, p: Ptr) -> Prog:
+        return act(self._read, p)
+
+    def write(self, p: Ptr, value: Any) -> Prog:
+        return act(self._write, p, value)
+
+    def holds(self, state: State) -> bool:
+        comp = state[self._conc.label]
+        return self._conc.mutex_of(comp.self_) is Mutex.OWN
+
+    def quiescent(self, state: State) -> bool:
+        return not self.holds(state)
+
+    def locked(self, state: State) -> bool:
+        return self._conc.bit(state)
+
+    def resource(self, state: State) -> Heap:
+        return self._conc.resource(state)
+
+    def client_self(self, state: State) -> Hashable:
+        return self._conc.aux_of(state.self_of(self._conc.label))
+
+    def client_total(self, state: State) -> Hashable:
+        return self._conc.client_total(state)
+
+    @property
+    def try_acquire_action(self) -> TryAcquireAction:
+        return self._try_acquire
+
+    @property
+    def read_action(self) -> ReadResAction:
+        return self._read
+
+    @property
+    def write_action(self) -> WriteResAction:
+        return self._write
+
+
+def make_cas_lock(
+    label: str,
+    lock_ptr: Ptr,
+    client_pcm: PCM,
+    inv: ResourceInvariant,
+    **kwargs: Any,
+) -> CASLock:
+    """Build a CAS lock over the given resource invariant."""
+    return CASLock(CASLockConcurroid(label, lock_ptr, client_pcm, inv, **kwargs))

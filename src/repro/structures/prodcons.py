@@ -1,0 +1,130 @@
+"""Producer/Consumer over a Treiber stack (§6: "Prod/Cons").
+
+A producer pushes a fixed batch of items; a consumer pops until it has
+collected the same number of items, retrying on ``None`` (an empty
+glimpse).  The correctness statement is assembled entirely from the
+Treiber stack's history specs — no new concurroid, actions or stability
+lemmas (a "-" row of Table 1):
+
+* every item the consumer returns was pushed by the producer (the
+  consumer's pop entries match producer push entries);
+* at the joint end, the combined self-history of the parent thread holds
+  exactly ``n`` pushes of the produced values and ``n`` pops of the same
+  multiset — nothing is lost, nothing is invented.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+from ..core.prog import Prog, bind, ffix, par, ret, seq
+from ..core.spec import Spec
+from ..core.state import State
+from .treiber import TB_LABEL, TreiberStructure
+
+
+def producer(structure: TreiberStructure, items: Sequence[Any]) -> Prog:
+    """Push every item, in order."""
+    if not items:
+        return ret(None)
+    return seq(*[structure.push(v) for v in items])
+
+
+def consumer(structure: TreiberStructure, count: int) -> Prog:
+    """Pop until ``count`` items collected (spin through empty glimpses);
+    returns the tuple of items in pop order."""
+
+    def gen(loop):
+        def body(remaining: int, acc: tuple) -> Prog:
+            if remaining == 0:
+                return ret(acc)
+            return bind(
+                structure.pop(),
+                lambda v: loop(remaining, acc)
+                if v is None
+                else loop(remaining - 1, acc + (v,)),
+            )
+
+        return body
+
+    return ffix(gen, label="consumer")(count, ())
+
+
+def prod_cons(structure: TreiberStructure, items: Sequence[Any]) -> Prog:
+    """``producer || consumer`` with matching counts."""
+    return par(producer(structure, items), consumer(structure, len(items)))
+
+
+def prod_cons_spec(structure: TreiberStructure, items: Sequence[Any]) -> Spec:
+    """All produced items are consumed, each exactly once."""
+    conc = structure.treiber
+    expected = Counter(items)
+
+    def pre(s: State) -> bool:
+        return (
+            s.self_of(TB_LABEL).is_empty
+            and len(conc.total_history(s)) + 2 * len(items) <= conc.max_ops
+        )
+
+    def post(r: Any, s2: State, s1: State) -> bool:
+        __, consumed = r
+        if Counter(consumed) != expected:
+            return False
+        h2 = s2.self_of(TB_LABEL)
+        pushes = [e for __, e in h2.items() if len(e.after) > len(e.before)]
+        pops = [e for __, e in h2.items() if len(e.after) < len(e.before)]
+        if len(pushes) != len(items) or len(pops) != len(items):
+            return False
+        if Counter(e.after[0] for e in pushes) != expected:
+            return False
+        return Counter(e.before[0] for e in pops) == expected
+
+    return Spec(f"prod_cons{tuple(items)!r}", pre, post)
+
+
+# -- verification (Table 1 row "Prod/Cons") ----------------------------------------------------
+
+
+def verify_prod_cons(*, env_budget: int = 0) -> "VerificationReport":
+    """Discharge the producer/consumer obligations — a pure client of the
+    Treiber stack (Libs + Main only, the "-" row of Table 1)."""
+    from ..core.spec import Scenario
+    from ..core.verify import ReportBuilder, VerificationReport, check_triple, triple_issues
+    from ..core.world import World
+
+    builder = ReportBuilder("Prod/Cons")
+
+    def counting_lemma() -> list:
+        # The multiset argument the spec rests on, on a tiny instance.
+        if Counter((1, 0)) != Counter((0, 1)):
+            return ["Counter equality broken?!"]
+        return []
+
+    builder.obligation("multiset-accounting-lemma", "Libs", counting_lemma)
+
+    def triples() -> list[str]:
+        issues: list[str] = []
+        for items in ((1,), (0, 1), (1, 1)):
+            structure = TreiberStructure(max_ops=2 * len(items) + 1, pool=tuple(range(101, 101 + len(items))))
+            spec = prod_cons_spec(structure, items)
+            scenario = Scenario(
+                structure.initial_state(),
+                prod_cons(structure, items),
+                label=f"prodcons{items!r}",
+            )
+            outcomes = check_triple(
+                World((structure.concurroid,)),
+                spec,
+                [scenario],
+                max_steps=300,
+                env_budget=env_budget,
+                max_configs=500_000,
+            )
+            issues.extend(triple_issues(outcomes))
+            if len(issues) >= 5:
+                break
+        return issues
+
+    builder.obligation("prod-cons-triples", "Main", triples)
+    return builder.build()

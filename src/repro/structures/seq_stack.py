@@ -1,0 +1,193 @@
+"""The sequential stack — "obtained from Treiber stack via hiding" (§6).
+
+The whole point of ``hide`` (§3.5) as a *language constructor*: wrapping
+the concurrent Treiber stack (together with its allocator) in a hiding
+scope shields it from all interference, so the concurrent history-based
+specs collapse to ordinary sequential ones — push then pop returns the
+pushed value, full stop — **without re-verifying any stack code**.
+
+The hidden concurroid is the entanglement ``ALock ⋈ Treiber`` (with the
+allocator-transfer and push connectors); its joints are carved out of the
+hiding thread's private heap and returned on exit.  ``Priv`` stays
+outside, as in Table 2's row (Priv, 3L, Treiber).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.entangle import Priv
+from ..core.prog import HideProg, Prog, bind, ret, seq
+from ..core.spec import Spec
+from ..core.state import State, SubjState, state_of
+from ..core.world import World
+from ..heap import EMPTY, NULL, Heap, heap_of, ptr
+from ..pcm.histories import History
+from ..pcm.mutex import Mutex
+from .allocator import ALLOC_LABEL, ALLOC_LOCK_PTR
+from .treiber import PRIV_LABEL, TB_LABEL, TOP, TreiberStructure
+
+
+class SeqStack:
+    """A sequential stack: a Treiber stack run under ``hide``."""
+
+    def __init__(self, pool: tuple[int, ...] = (101, 102, 103)):
+        self._pool = pool
+        self.structure = TreiberStructure(max_ops=2 * len(pool), pool=pool)
+        #: The hidden protocol: everything the Treiber structure entangles
+        #: except the thread-private Priv, which stays outside the scope.
+        self.hidden = _strip_priv(self.structure)
+
+    # -- the decoration (§3.5's Φ) -------------------------------------------------
+
+    def donate(self, h: Heap) -> tuple[dict[str, Any], Heap]:
+        """Carve the allocator (lock + pool) and the stack (TOP) regions
+        out of the private heap; keep the rest."""
+        al_cells = {ALLOC_LOCK_PTR} | {ptr(a) for a in self._pool}
+        al_joint = h.restrict(al_cells)
+        tb_joint = h.restrict({TOP})
+        kept = h.remove_all(al_cells | {TOP})
+        return {ALLOC_LABEL: al_joint, TB_LABEL: tb_joint}, kept
+
+    def initial_selfs(self) -> dict[str, Any]:
+        return {
+            ALLOC_LABEL: (Mutex.NOT_OWN, ()),
+            TB_LABEL: History(),
+        }
+
+    def scoped(self, body: Prog) -> HideProg:
+        """``hide Φ, (NOT_OWN, ∅) { body }``."""
+        return HideProg(
+            self.hidden,
+            donate=self.donate,
+            initial_selfs=self.initial_selfs(),
+            body=body,
+            priv_label=PRIV_LABEL,
+        )
+
+    # -- sequential client programs ---------------------------------------------------
+
+    def push(self, value: Any) -> Prog:
+        return self.structure.push(value)
+
+    def pop(self) -> Prog:
+        return self.structure.pop()
+
+    def run_ops(self, ops: Sequence[tuple[str, Any]]) -> HideProg:
+        """Hide the stack and run a straight-line op sequence; returns the
+        tuple of every ``pop`` result in order."""
+
+        def build(remaining: tuple, acc: tuple) -> Prog:
+            if not remaining:
+                return ret(acc)
+            (kind, arg), rest = remaining[0], remaining[1:]
+            if kind == "push":
+                return seq(self.push(arg), build(rest, acc))
+            return bind(self.pop(), lambda v, rest=rest, acc=acc: build(rest, acc + (v,)))
+
+        return self.scoped(build(tuple(ops), ()))
+
+    # -- states & specs --------------------------------------------------------------------
+
+    def initial_state(self, extra_heap: Heap = EMPTY) -> State:
+        """Everything (lock bit, pool, TOP) sits in the private heap."""
+        cells = {ALLOC_LOCK_PTR: False, TOP: NULL}
+        cells.update({ptr(a): 0 for a in self._pool})
+        return state_of(
+            **{PRIV_LABEL: SubjState(heap_of(cells).join(extra_heap), EMPTY, EMPTY)}
+        )
+
+    def world(self) -> World:
+        return World((Priv(PRIV_LABEL),))
+
+    def sequential_spec(self, ops: Sequence[tuple[str, Any]]) -> Spec:
+        """The *sequential* spec hiding buys us: pops return exactly what a
+        list-model stack would return, deterministically."""
+        expected = _simulate(ops)
+
+        def pre(s: State) -> bool:
+            h = s.self_of(PRIV_LABEL)
+            return ALLOC_LOCK_PTR in h and TOP in h
+
+        def post(r: Any, s2: State, s1: State) -> bool:
+            # The private heap footprint is fully returned by unhide.
+            return r == expected and s2.self_of(PRIV_LABEL).dom() == s1.self_of(PRIV_LABEL).dom()
+
+        return Spec(f"seq_stack{tuple(ops)!r}", pre, post)
+
+
+def _strip_priv(structure: TreiberStructure):
+    """The hidden entanglement: the structure's concurroid without Priv."""
+    from ..core.entangle import Entangled
+
+    full = structure.concurroid
+    parts = tuple(p for p in full.parts if PRIV_LABEL not in p.labels)
+    return Entangled(*parts, connectors=full._connectors)
+
+
+def _simulate(ops: Sequence[tuple[str, Any]]) -> tuple:
+    stack: list = []
+    pops = []
+    for kind, arg in ops:
+        if kind == "push":
+            stack.insert(0, arg)
+        else:
+            pops.append(stack.pop(0) if stack else None)
+    return tuple(pops)
+
+
+# -- verification (Table 1 row "Seq. stack") --------------------------------------------------
+
+
+def verify_seq_stack() -> "VerificationReport":
+    """Discharge the sequential-stack obligations.
+
+    A pure client row: the Treiber stack, the allocator and the locks were
+    verified once; hiding converts their concurrent specs into the
+    sequential ones checked here, so only ``Libs`` (the list-model
+    simulation used as the oracle) and ``Main`` appear — the "-" entries
+    of Table 1.
+    """
+    from itertools import product
+
+    from ..core.spec import Scenario
+    from ..core.verify import ReportBuilder, VerificationReport, check_triple, triple_issues
+
+    builder = ReportBuilder("Seq. stack")
+
+    def simulate_lemmas() -> list:
+        issues = []
+        if _simulate([("push", 1), ("pop", None)]) != (1,):
+            issues.append("LIFO simulation broken")
+        if _simulate([("pop", None)]) != (None,):
+            issues.append("empty pop simulation broken")
+        return issues
+
+    builder.obligation("list-model-oracle", "Libs", simulate_lemmas)
+
+    def sequential_triples() -> list[str]:
+        issues: list[str] = []
+        # Every op sequence of length <= 4 over pushes of {0,1} and pops.
+        alphabet = [("push", 0), ("push", 1), ("pop", None)]
+        for n in range(1, 5):
+            for ops in product(alphabet, repeat=n):
+                if sum(1 for k, __ in ops if k == "push") > 3:
+                    continue  # the pool has three cells
+                stack = SeqStack()
+                scenario = Scenario(
+                    stack.initial_state(), stack.run_ops(ops), label=f"ops={ops!r}"
+                )
+                outcomes = check_triple(
+                    stack.world(),
+                    stack.sequential_spec(ops),
+                    [scenario],
+                    max_steps=120,
+                    env_budget=0,
+                )
+                issues.extend(triple_issues(outcomes))
+                if len(issues) >= 5:
+                    return issues
+        return issues
+
+    builder.obligation("sequential-op-sequences-triple", "Main", sequential_triples)
+    return builder.build()

@@ -1,0 +1,286 @@
+"""The abstract stack interface — the exercise the paper left open.
+
+§6: "In principle, we could implement an abstract interface for stacks,
+too, to unify the Treiber stack and the FC-stack, although, we didn't
+carry out this exercise."  Here it is carried out: both stacks implement
+:class:`AbstractStack`, whose contract is exactly the history-PCM specs —
+a push ascribes one fresh ``s ==> v·s`` entry to the caller, a pop either
+ascribes a ``v·s ==> s`` entry or witnesses emptiness — and a *single*
+generic client (a producer/consumer, mirroring ``prodcons``) is verified
+once against the interface and then runs, unchanged, over either
+implementation.
+
+Client threads address the stack through opaque *contexts* (Treiber needs
+none; the flat combiner needs a publication slot), which is the only
+impedance the unification has to absorb.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Any, Sequence
+
+from ..core.prog import Prog, bind, ffix, par, ret, seq
+from ..core.spec import Scenario, Spec
+from ..core.state import State
+from ..core.verify import ReportBuilder, VerificationReport, check_triple, triple_issues
+from ..core.world import World
+from ..pcm.histories import History
+
+
+class AbstractStack(ABC):
+    """What a stack client may rely on, independent of the engine."""
+
+    @abstractmethod
+    def world(self) -> World:
+        """The world (installed concurroids) the stack runs in."""
+
+    @abstractmethod
+    def initial_state(self) -> State:
+        """A pristine (empty-stack) initial state."""
+
+    @abstractmethod
+    def contexts(self) -> Sequence[Any]:
+        """Per-thread access contexts (e.g. FC publication slots).  A
+        client using ``k`` concurrent threads takes ``contexts()[:k]``."""
+
+    @abstractmethod
+    def push(self, ctx: Any, value: Any) -> Prog:
+        """Push ``value``; ascribes one ``s ==> v·s`` history entry."""
+
+    @abstractmethod
+    def pop(self, ctx: Any) -> Prog:
+        """Pop; returns the value or ``None`` on an empty glimpse."""
+
+    @abstractmethod
+    def contrib_of(self, state: State) -> History:
+        """The observing thread's history contribution."""
+
+    @abstractmethod
+    def op_budget(self) -> int:
+        """How many operations the finite model supports."""
+
+    # -- the interface-level specs (shared by all implementations) -------------
+
+    def push_spec(self, value: Any) -> Spec:
+        def pre(s: State) -> bool:
+            return True
+
+        def post(r: Any, s2: State, s1: State) -> bool:
+            h1, h2 = self.contrib_of(s1), self.contrib_of(s2)
+            fresh = h2.timestamps() - h1.timestamps()
+            if len(fresh) != 1:
+                return False
+            (ts,) = fresh
+            entry = h2[ts]
+            return entry.after == (value,) + entry.before
+
+        return Spec(f"stack.push({value!r})", pre, post)
+
+    def pop_spec(self) -> Spec:
+        def pre(s: State) -> bool:
+            return True
+
+        def post(r: Any, s2: State, s1: State) -> bool:
+            h1, h2 = self.contrib_of(s1), self.contrib_of(s2)
+            fresh = h2.timestamps() - h1.timestamps()
+            if r is None:
+                # Either no entry (Treiber saw null top) or an explicit
+                # emptiness-witnessing idle entry (FC).
+                return all(h2[ts].before == h2[ts].after == () for ts in fresh)
+            if len(fresh) != 1:
+                return False
+            (ts,) = fresh
+            entry = h2[ts]
+            return entry.before and entry.before[0] == r and entry.after == entry.before[1:]
+
+        return Spec("stack.pop", pre, post)
+
+
+# -- implementations ------------------------------------------------------------------------------
+
+
+class TreiberAsStack(AbstractStack):
+    """The Treiber stack behind the interface (contexts are unused)."""
+
+    def __init__(self, *, max_ops: int = 4, pool: tuple[int, ...] = (101, 102)):
+        from .treiber import TreiberStructure
+
+        self._structure = TreiberStructure(max_ops=max_ops, pool=pool)
+
+    def world(self) -> World:
+        return World((self._structure.concurroid,))
+
+    def initial_state(self) -> State:
+        return self._structure.initial_state()
+
+    def contexts(self) -> Sequence[Any]:
+        return (None, None, None)
+
+    def push(self, ctx: Any, value: Any) -> Prog:
+        return self._structure.push(value)
+
+    def pop(self, ctx: Any) -> Prog:
+        return self._structure.pop()
+
+    def contrib_of(self, state: State) -> History:
+        from .treiber import TB_LABEL
+
+        return state.self_of(TB_LABEL)
+
+    def op_budget(self) -> int:
+        return self._structure.treiber.max_ops
+
+
+class FCAsStack(AbstractStack):
+    """The flat-combining stack behind the interface (contexts = slots)."""
+
+    def __init__(self, *, max_ops: int = 4):
+        from .fc_stack import FCStack, SLOTS
+
+        self._stack = FCStack(max_ops=max_ops, slots=SLOTS[:3])
+
+    def world(self) -> World:
+        return self._stack.world()
+
+    def initial_state(self) -> State:
+        return self._stack.initial_state()
+
+    def contexts(self) -> Sequence[Any]:
+        return self._stack.slots
+
+    def push(self, ctx: Any, value: Any) -> Prog:
+        return self._stack.push(ctx, value)
+
+    def pop(self, ctx: Any) -> Prog:
+        return self._stack.pop(ctx)
+
+    def contrib_of(self, state: State) -> History:
+        return self._stack.concurroid.my_contrib(state)
+
+    def op_budget(self) -> int:
+        return self._stack.concurroid.max_ops
+
+
+# -- the generic client, written once against the interface ----------------------------------------
+
+
+def generic_producer(stack: AbstractStack, ctx: Any, items: Sequence[Any]) -> Prog:
+    if not items:
+        return ret(None)
+    return seq(*[stack.push(ctx, v) for v in items])
+
+
+def generic_consumer(stack: AbstractStack, ctx: Any, count: int) -> Prog:
+    def gen(loop):
+        def body(remaining: int, acc: tuple) -> Prog:
+            if remaining == 0:
+                return ret(acc)
+            return bind(
+                stack.pop(ctx),
+                lambda v: loop(remaining, acc)
+                if v is None
+                else loop(remaining - 1, acc + (v,)),
+            )
+
+        return body
+
+    return ffix(gen, label="generic-consumer")(count, ())
+
+
+def generic_prod_cons(stack: AbstractStack, items: Sequence[Any]) -> Prog:
+    ctx_p, ctx_c = stack.contexts()[:2]
+    return par(
+        generic_producer(stack, ctx_p, items),
+        generic_consumer(stack, ctx_c, len(items)),
+    )
+
+
+def generic_prod_cons_spec(stack: AbstractStack, items: Sequence[Any]) -> Spec:
+    expected = Counter(items)
+
+    def pre(s: State) -> bool:
+        return stack.contrib_of(s).is_empty
+
+    def post(r: Any, s2: State, s1: State) -> bool:
+        __, consumed = r
+        if Counter(consumed) != expected:
+            return False
+        h2 = stack.contrib_of(s2)
+        pushes = [e for __, e in h2.items() if len(e.after) > len(e.before)]
+        pops = [e for __, e in h2.items() if len(e.after) < len(e.before)]
+        if len(pushes) != len(items) or len(pops) != len(items):
+            return False
+        return Counter(e.after[0] for e in pushes) == expected
+
+    return Spec(f"generic_prod_cons{tuple(items)!r}", pre, post)
+
+
+# -- one verification, run over every implementation ------------------------------------------------
+
+
+def verify_stack_interface(
+    stack: AbstractStack,
+    *,
+    env_budget: int = 1,
+    max_steps: int = 200,
+    max_configs: int = 400_000,
+) -> VerificationReport:
+    """The interface contract, discharged for a given implementation.
+
+    Pure interface-level reasoning: no Conc/Acts/Stab obligations — those
+    belong to the implementations' own verifications (Table 1 rows
+    "Treiber stack" and "Flat combiner").
+    """
+    name = type(stack).__name__
+    builder = ReportBuilder(f"AbstractStack[{name}]")
+    ctx = stack.contexts()[0]
+
+    builder.obligation(
+        "push-triple",
+        "Main",
+        lambda: triple_issues(
+            check_triple(
+                stack.world(),
+                stack.push_spec(1),
+                [Scenario(stack.initial_state(), stack.push(ctx, 1), label="push")],
+                max_steps=60,
+                env_budget=env_budget,
+            )
+        ),
+    )
+    builder.obligation(
+        "pop-triple",
+        "Main",
+        lambda: triple_issues(
+            check_triple(
+                stack.world(),
+                stack.pop_spec(),
+                [Scenario(stack.initial_state(), stack.pop(ctx), label="pop empty")],
+                max_steps=60,
+                env_budget=env_budget,
+            )
+        ),
+    )
+    builder.obligation(
+        "generic-prodcons-triple",
+        "Main",
+        lambda: triple_issues(
+            check_triple(
+                stack.world(),
+                generic_prod_cons_spec(stack, (1,)),
+                [
+                    Scenario(
+                        stack.initial_state(),
+                        generic_prod_cons(stack, (1,)),
+                        label="generic prodcons",
+                    )
+                ],
+                max_steps=max_steps,
+                env_budget=0,
+                max_configs=max_configs,
+            )
+        ),
+    )
+    return builder.build()

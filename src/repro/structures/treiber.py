@@ -1,0 +1,498 @@
+"""The Treiber stack (§6, Treiber [52]), specified with histories.
+
+The canonical lock-free stack: a ``top`` pointer CASed over a linked list
+of nodes.  Following the paper's composition (Figure 5 and Table 2), the
+structure entangles **three** concurroids:
+
+* ``Priv`` — the pushing thread prepares its node in private memory;
+* ``ALock`` — the CG allocator supplies fresh nodes (push calls ``alloc``);
+* ``Treiber`` — the stack protocol proper: the joint heap holds ``TOP``
+  plus the node region; ``self``/``other`` are **time-stamped histories**
+  of abstract stack states (tuples of values, top first), as in [47].
+
+Key modelling points, all paper-faithful:
+
+* **nodes are never freed** — popped nodes stay in the joint region as
+  garbage, which is what makes the racy ``read_node`` after an interfering
+  pop safe (and what rules ABA out);
+* **push transfers ownership**: the successful CAS moves the privately
+  prepared node from ``Priv`` into the Treiber region — a connector
+  transition of the entanglement, like the allocator's (§4.1);
+* the CAS actions *erase* to a single compare-and-swap on ``TOP``.
+
+Specs: ``push v`` extends the caller's history by one ``s ==> v·s`` entry;
+``pop`` either returns ``Some v`` and owns a fresh ``v·s ==> s`` entry, or
+returns ``None`` and the stack was empty at some moment during the call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..core.action import Action
+from ..core.concurroid import Concurroid, Transition
+from ..core.entangle import entangle
+from ..core.prog import Prog, act, bind, ffix, ret, seq
+from ..core.spec import Spec
+from ..core.state import State, SubjState, state_of
+from ..heap import EMPTY, NULL, Heap, Ptr, heap_of, pts, ptr
+from ..pcm.base import PCM
+from ..pcm.histories import HistEntry, History, HistoryPCM
+from .allocator import ALLOC_LABEL, AllocatorStructure, WritePrivAction, make_alloc_lock
+
+TB_LABEL = "tb"
+PRIV_LABEL = "pv"
+#: The stack's top-pointer cell.
+TOP = ptr(50)
+
+#: An abstract stack: a tuple of values, top first.
+Stack = tuple
+
+
+def stack_of(state: State, label: str = TB_LABEL) -> Stack:
+    """Read off the concrete stack by chasing ``TOP`` (assumes coherence)."""
+    joint = state.joint_of(label)
+    out = []
+    node = joint[TOP]
+    seen = set()
+    while node != NULL and node in joint and node not in seen:
+        seen.add(node)
+        value, nxt = joint[node]
+        out.append(value)
+        node = nxt
+    return tuple(out)
+
+
+class TreiberConcurroid(Concurroid):
+    """The ``Treiber`` concurroid."""
+
+    def __init__(self, label: str = TB_LABEL, max_ops: int = 4):
+        self._label = label
+        #: Model bound on total stack operations (history length).
+        self._max_ops = max_ops
+        self._pcm = HistoryPCM()
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return (self._label,)
+
+    @property
+    def max_ops(self) -> int:
+        return self._max_ops
+
+    def pcms(self) -> Mapping[str, PCM]:
+        return {self._label: self._pcm}
+
+    # -- projections ----------------------------------------------------------------
+
+    def total_history(self, state: State) -> History:
+        comp = state[self._label]
+        return self._pcm.join(comp.self_, comp.other)
+
+    def stack(self, state: State) -> Stack:
+        return stack_of(state, self._label)
+
+    # -- coherence --------------------------------------------------------------------
+
+    def coherent(self, state: State) -> bool:
+        if self._label not in state:
+            return False
+        comp = state[self._label]
+        joint = comp.joint
+        if not isinstance(joint, Heap) or not joint.is_valid:
+            return False
+        if TOP not in joint or not isinstance(joint[TOP], Ptr):
+            return False
+        # Every node cell (everything but TOP) has shape (value, next-ptr)
+        # with next inside the region or null — garbage included.
+        for p, cell in joint.items():
+            if p == TOP:
+                continue
+            if not (isinstance(cell, tuple) and len(cell) == 2):
+                return False
+            if not isinstance(cell[1], Ptr):
+                return False
+            if cell[1] != NULL and cell[1] not in joint:
+                return False
+        # The chain from TOP is finite and null-terminated (no cycle).
+        node, seen = joint[TOP], set()
+        while node != NULL:
+            if node not in joint or node in seen:
+                return False
+            seen.add(node)
+            node = joint[node][1]
+        total = self._pcm.join(comp.self_, comp.other)
+        if not self._pcm.valid(total):
+            return False
+        if not total.continuous_from(()):
+            return False
+        return total.final_state(()) == self.stack(state)
+
+    # -- transitions --------------------------------------------------------------------
+    #
+    # ``pop`` is a transition of the Treiber concurroid alone; ``push``
+    # crosses into Priv (ownership transfer) and therefore lives as a
+    # connector of the entanglement — see TreiberStructure._connectors.
+
+    def transitions(self) -> Sequence[Transition]:
+        lbl = self._label
+
+        def pop_requires(state: State, __: Any) -> bool:
+            if len(self.total_history(state)) >= self._max_ops:
+                return False
+            return state.joint_of(lbl)[TOP] != NULL
+
+        def pop_effect(state: State, __: Any) -> State:
+            def upd(comp: SubjState) -> SubjState:
+                top = comp.joint[TOP]
+                value, nxt = comp.joint[top]
+                before = self.stack(state)
+                after = before[1:]
+                ts = self.total_history(state).last_timestamp() + 1
+                return SubjState(
+                    comp.self_.extend(ts, HistEntry(before, after)),
+                    comp.joint.update(TOP, nxt),
+                    comp.other,
+                )
+
+            return state.update(lbl, upd)
+
+        return (Transition(f"{lbl}.pop", pop_requires, pop_effect),)
+
+    # -- initial states --------------------------------------------------------------------
+
+    def initial(
+        self,
+        nodes: Mapping[Ptr, tuple] | None = None,
+        top: Ptr = NULL,
+        self_hist: History | None = None,
+        other_hist: History | None = None,
+    ) -> SubjState:
+        joint = pts(TOP, top).join(heap_of(dict(nodes or {})))
+        return SubjState(
+            self_hist if self_hist is not None else History(),
+            joint,
+            other_hist if other_hist is not None else History(),
+        )
+
+
+class TreiberStructure:
+    """Priv ⋈ ALock ⋈ Treiber, with push and allocator connectors."""
+
+    def __init__(
+        self,
+        *,
+        max_ops: int = 4,
+        pool: tuple[int, ...] = (101, 102),
+        value_domain: tuple = (0, 1),
+    ):
+        self.treiber = TreiberConcurroid(max_ops=max_ops)
+        self.alloc = AllocatorStructure(
+            make_alloc_lock(),
+            # The private value domain must cover prepared nodes so the
+            # correspondence checks recognise node preparation as a Priv
+            # write transition.
+            priv_values=(0,) + tuple((v, NULL) for v in value_domain),
+        )
+        self._values = value_domain
+        self.concurroid = entangle(
+            self.alloc.concurroid,
+            self.treiber,
+            connectors=self._connectors(),
+        )
+        self.read_top = ReadTopAction(self)
+        self.read_node = ReadNodeAction(self)
+        self.cas_push = CasPushAction(self)
+        self.cas_pop = CasPopAction(self)
+        self.prep_node = WritePrivAction(self.alloc)
+        self.prep_node._concurroid = self.concurroid  # rebind to the full world
+        self._pool = pool
+
+    # -- the push connector -------------------------------------------------------------
+
+    def _connectors(self) -> tuple[Transition, ...]:
+        tb = self.treiber
+
+        def push_params(state: State) -> Iterator[Ptr]:
+            if PRIV_LABEL in state:
+                heap = state.self_of(PRIV_LABEL)
+                yield from sorted(heap.dom(), key=lambda q: q.addr)
+
+        def push_requires(state: State, p: Ptr) -> bool:
+            if TB_LABEL not in state or PRIV_LABEL not in state:
+                return False
+            if len(tb.total_history(state)) >= tb.max_ops:
+                return False
+            mine = state.self_of(PRIV_LABEL)
+            if p not in mine:
+                return False
+            cell = mine[p]
+            if not (isinstance(cell, tuple) and len(cell) == 2 and isinstance(cell[1], Ptr)):
+                return False
+            if p in state.joint_of(TB_LABEL):
+                return False
+            return cell[1] == state.joint_of(TB_LABEL)[TOP]
+
+        def push_effect(state: State, p: Ptr) -> State:
+            cell = state.self_of(PRIV_LABEL)[p]
+            out = state.update(PRIV_LABEL, lambda c: c.with_self(c.self_.free(p)))
+
+            def upd(comp: SubjState) -> SubjState:
+                before = tb.stack(state)
+                after = (cell[0],) + before
+                ts = tb.total_history(state).last_timestamp() + 1
+                return SubjState(
+                    comp.self_.extend(ts, HistEntry(before, after)),
+                    comp.joint.join(pts(p, cell)).update(TOP, p),
+                    comp.other,
+                )
+
+            return out.update(TB_LABEL, upd)
+
+        return (Transition("tb.push", push_requires, push_effect, push_params),)
+
+    # -- programs -------------------------------------------------------------------------
+
+    def push(self, value: Any) -> Prog:
+        """Allocate, prepare privately, CAS-spin onto the stack."""
+
+        def cas_loop(p: Ptr) -> Prog:
+            spin = ffix(
+                lambda loop: lambda: bind(
+                    act(self.read_top),
+                    lambda t: seq(
+                        act(self.prep_node, p, (value, t)),
+                        bind(
+                            act(self.cas_push, t, p),
+                            lambda ok: ret(None) if ok else loop(),
+                        ),
+                    ),
+                ),
+                label="push",
+            )
+            return spin()
+
+        return bind(self.alloc.alloc(), cas_loop)
+
+    def pop(self) -> Prog:
+        """CAS-spin the top off the stack; ``None`` on empty."""
+
+        def attempt(loop) -> Prog:
+            def read_and_cas(t: Ptr) -> Prog:
+                if t == NULL:
+                    return ret(None)
+                return bind(
+                    act(self.read_node, t),
+                    lambda cell: bind(
+                        act(self.cas_pop, t, cell[1]),
+                        lambda ok: ret(cell[0]) if ok else loop(),
+                    ),
+                )
+
+            return bind(act(self.read_top), read_and_cas)
+
+        return ffix(lambda loop: lambda: attempt(loop), label="pop")()
+
+    # -- states ----------------------------------------------------------------------------
+
+    def initial_state(
+        self,
+        stack_nodes: Sequence[tuple[int, Any]] = (),
+        self_hist: History | None = None,
+        other_hist: History | None = None,
+        my_heap: Heap = EMPTY,
+        env_heap: Heap = EMPTY,
+    ) -> State:
+        """Build a state whose stack holds ``stack_nodes`` (top first) as
+        ``(address, value)`` pairs; histories must replay to that stack."""
+        nodes: dict[Ptr, tuple] = {}
+        top = NULL
+        for addr, value in reversed(list(stack_nodes)):
+            nodes[ptr(addr)] = (value, top)
+            top = ptr(addr)
+        pool_heap = heap_of({ptr(a): 0 for a in self._pool})
+        return state_of(
+            **{
+                PRIV_LABEL: SubjState(my_heap, EMPTY, env_heap),
+                ALLOC_LABEL: self.alloc.lock.concurroid.initial(pool_heap),
+                TB_LABEL: self.treiber.initial(nodes, top, self_hist, other_hist),
+            }
+        )
+
+
+# -- atomic actions ----------------------------------------------------------------------------
+
+
+class ReadTopAction(Action):
+    """Read ``TOP``; idle."""
+
+    def __init__(self, structure: TreiberStructure):
+        super().__init__(structure.concurroid)
+        self.name = "tb.read_top"
+
+    def safe(self, state: State, *args: Any) -> bool:
+        return TB_LABEL in state and TOP in state.joint_of(TB_LABEL)
+
+    def step(self, state: State, *args: Any) -> tuple[Ptr, State]:
+        return state.joint_of(TB_LABEL)[TOP], state
+
+
+class ReadNodeAction(Action):
+    """Read a node cell — safe even if the node was popped meanwhile,
+    because nodes are never freed."""
+
+    def __init__(self, structure: TreiberStructure):
+        super().__init__(structure.concurroid)
+        self.name = "tb.read_node"
+
+    def safe(self, state: State, p: Ptr) -> bool:
+        return TB_LABEL in state and p in state.joint_of(TB_LABEL) and p != TOP
+
+    def step(self, state: State, p: Ptr) -> tuple[tuple, State]:
+        return state.joint_of(TB_LABEL)[p], state
+
+
+class CasPushAction(Action):
+    """``CAS(TOP, t, p)``: on success the prepared node ``p`` moves from
+    the private heap into the stack and the caller's history grows."""
+
+    def __init__(self, structure: TreiberStructure):
+        super().__init__(structure.concurroid)
+        self._structure = structure
+        self.name = "tb.cas_push"
+
+    def safe(self, state: State, t: Ptr, p: Ptr) -> bool:
+        tb = self._structure.treiber
+        if TB_LABEL not in state or PRIV_LABEL not in state:
+            return False
+        mine = state.self_of(PRIV_LABEL)
+        if p not in mine:
+            return False
+        cell = mine[p]
+        if not (isinstance(cell, tuple) and len(cell) == 2 and isinstance(cell[1], Ptr)):
+            return False
+        if state.joint_of(TB_LABEL)[TOP] != t:
+            return True  # CAS will fail: that is safe
+        # Success path: the prepared next must be the expected top, and
+        # there must be history budget.
+        return cell[1] == t and len(tb.total_history(state)) < tb.max_ops
+
+    def step(self, state: State, t: Ptr, p: Ptr) -> tuple[bool, State]:
+        tb = self._structure.treiber
+        if state.joint_of(TB_LABEL)[TOP] != t:
+            return False, state
+        cell = state.self_of(PRIV_LABEL)[p]
+        out = state.update(PRIV_LABEL, lambda c: c.with_self(c.self_.free(p)))
+
+        def upd(comp: SubjState) -> SubjState:
+            before = tb.stack(state)
+            after = (cell[0],) + before
+            ts = tb.total_history(state).last_timestamp() + 1
+            return SubjState(
+                comp.self_.extend(ts, HistEntry(before, after)),
+                comp.joint.join(pts(p, cell)).update(TOP, p),
+                comp.other,
+            )
+
+        return True, out.update(TB_LABEL, upd)
+
+    def footprint(self, state: State, t: Ptr, p: Ptr) -> frozenset[Ptr]:
+        return frozenset((TOP,))
+
+
+class CasPopAction(Action):
+    """``CAS(TOP, t, n)``: on success the caller owns the pop entry."""
+
+    def __init__(self, structure: TreiberStructure):
+        super().__init__(structure.concurroid)
+        self._structure = structure
+        self.name = "tb.cas_pop"
+
+    def safe(self, state: State, t: Ptr, n: Ptr) -> bool:
+        tb = self._structure.treiber
+        if TB_LABEL not in state:
+            return False
+        joint = state.joint_of(TB_LABEL)
+        if t == TOP or t not in joint:
+            return False
+        if joint[TOP] != t:
+            return True  # failing CAS is safe
+        # Success path: n must be t's recorded next (true along program
+        # paths: node links are immutable once in the region), and there
+        # must be history budget.
+        return joint[t][1] == n and len(tb.total_history(state)) < tb.max_ops
+
+    def step(self, state: State, t: Ptr, n: Ptr) -> tuple[bool, State]:
+        tb = self._structure.treiber
+        joint = state.joint_of(TB_LABEL)
+        if joint[TOP] != t:
+            return False, state
+
+        def upd(comp: SubjState) -> SubjState:
+            before = tb.stack(state)
+            after = before[1:]
+            ts = tb.total_history(state).last_timestamp() + 1
+            return SubjState(
+                comp.self_.extend(ts, HistEntry(before, after)),
+                comp.joint.update(TOP, n),
+                comp.other,
+            )
+
+        return True, state.update(TB_LABEL, upd)
+
+    def footprint(self, state: State, t: Ptr, n: Ptr) -> frozenset[Ptr]:
+        return frozenset((TOP,))
+
+
+# -- specifications -------------------------------------------------------------------------------
+
+
+def stack_states_since(conc: TreiberConcurroid, s1: State, s2: State) -> list[Stack]:
+    """Every abstract stack the structure inhabited between the calls."""
+    k1 = conc.total_history(s1).last_timestamp()
+    states = [conc.stack(s1)]
+    for ts, entry in conc.total_history(s2).items():
+        if ts > k1:
+            states.append(entry.after)
+    return states
+
+
+def push_spec(conc: TreiberConcurroid, value: Any) -> Spec:
+    """``{self = h} push v {self = h \\+ ts :-> (s ==> v·s)}`` ([47])."""
+
+    def pre(s: State) -> bool:
+        return len(conc.total_history(s)) < conc.max_ops
+
+    def post(r: Any, s2: State, s1: State) -> bool:
+        h1, h2 = s1.self_of(TB_LABEL), s2.self_of(TB_LABEL)
+        fresh = h2.timestamps() - h1.timestamps()
+        if len(fresh) != 1:
+            return False
+        (ts,) = fresh
+        entry = h2[ts]
+        return entry.after == (value,) + entry.before
+
+    return Spec(f"push_tp({value!r})", pre, post)
+
+
+def pop_spec(conc: TreiberConcurroid) -> Spec:
+    """``pop`` owns one pop entry (Some) or witnessed emptiness (None)."""
+
+    def pre(s: State) -> bool:
+        return len(conc.total_history(s)) < conc.max_ops
+
+    def post(r: Any, s2: State, s1: State) -> bool:
+        h1, h2 = s1.self_of(TB_LABEL), s2.self_of(TB_LABEL)
+        fresh = h2.timestamps() - h1.timestamps()
+        if r is None:
+            # Emptiness was observable at some moment during the call.
+            if fresh:
+                return False
+            return () in set(stack_states_since(conc, s1, s2))
+        if len(fresh) != 1:
+            return False
+        (ts,) = fresh
+        entry = h2[ts]
+        return entry.before and entry.before[0] == r and entry.after == entry.before[1:]
+
+    return Spec("pop_tp", pre, post)

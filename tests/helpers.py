@@ -1,0 +1,115 @@
+"""Shared test fixtures: a minimal fine-grained counter concurroid.
+
+The *toy counter* is the smallest protocol exercising the whole framework:
+joint = one heap cell, self/other = nat contributions, coherence ties the
+cell to the total, and a single ``bump`` transition increments both cell
+and ``self`` — a lock-free fetch-and-add.  Tests use it to probe the core
+machinery without the weight of the real case studies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.core.action import Action
+from repro.core.concurroid import Concurroid, Transition
+from repro.core.state import State, SubjState, state_of
+from repro.heap import Heap, Ptr, pts, ptr
+from repro.pcm.base import PCM
+from repro.pcm.natpcm import NatPCM
+
+CELL = ptr(7)
+LABEL = "ct"
+
+
+class CounterConcurroid(Concurroid):
+    """Fetch-and-add counter: cell contents = total contributions."""
+
+    def __init__(self, label: str = LABEL, cap: int = 5):
+        self._label = label
+        self._cap = cap
+        self._pcm = NatPCM(sample_bound=cap + 1)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return (self._label,)
+
+    def pcms(self) -> Mapping[str, PCM]:
+        return {self._label: self._pcm}
+
+    def coherent(self, state: State) -> bool:
+        if self._label not in state:
+            return False
+        comp = state[self._label]
+        if not isinstance(comp.joint, Heap) or CELL not in comp.joint:
+            return False
+        total = self._pcm.join(comp.self_, comp.other)
+        return self._pcm.valid(total) and comp.joint[CELL] == total
+
+    def transitions(self) -> Sequence[Transition]:
+        lbl = self._label
+
+        def requires(state: State, __: Any) -> bool:
+            return state.joint_of(lbl)[CELL] < self._cap
+
+        def effect(state: State, __: Any) -> State:
+            def upd(comp: SubjState) -> SubjState:
+                return SubjState(
+                    comp.self_ + 1,
+                    comp.joint.update(CELL, comp.joint[CELL] + 1),
+                    comp.other,
+                )
+
+            return state.update(lbl, upd)
+
+        return (Transition(f"{lbl}.bump", requires, effect),)
+
+    def initial(self, self_n: int = 0, other_n: int = 0) -> SubjState:
+        return SubjState(self_n, pts(CELL, self_n + other_n), other_n)
+
+
+class BumpAction(Action):
+    """Atomic fetch-and-add(1); returns the value read."""
+
+    def __init__(self, conc: CounterConcurroid):
+        super().__init__(conc)
+        self._conc = conc
+        self.name = f"{conc.label}.bump"
+
+    def safe(self, state: State, *args: Any) -> bool:
+        lbl = self._conc.label
+        return (
+            lbl in state
+            and CELL in state.joint_of(lbl)
+            and state.joint_of(lbl)[CELL] < self._conc._cap
+        )
+
+    def step(self, state: State, *args: Any) -> tuple[int, State]:
+        lbl = self._conc.label
+        comp = state[lbl]
+        value = comp.joint[CELL]
+        new = SubjState(comp.self_ + 1, comp.joint.update(CELL, value + 1), comp.other)
+        return value, state.set(lbl, new)
+
+    def footprint(self, state: State, *args: Any) -> frozenset[Ptr]:
+        return frozenset((CELL,))
+
+
+class ReadCounterAction(Action):
+    """Atomic read of the counter cell."""
+
+    def __init__(self, conc: CounterConcurroid):
+        super().__init__(conc)
+        self._conc = conc
+        self.name = f"{conc.label}.read"
+
+    def safe(self, state: State, *args: Any) -> bool:
+        lbl = self._conc.label
+        return lbl in state and CELL in state.joint_of(lbl)
+
+    def step(self, state: State, *args: Any) -> tuple[int, State]:
+        return state.joint_of(self._conc.label)[CELL], state
+
+
+def counter_state(conc: CounterConcurroid, self_n: int = 0, other_n: int = 0) -> State:
+    return state_of(**{conc.label: conc.initial(self_n, other_n)})

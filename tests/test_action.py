@@ -1,0 +1,120 @@
+"""Unit tests for atomic actions and the per-action metatheory checks."""
+
+import pytest
+
+from repro.core.action import assert_action_ok, check_action
+from repro.core.concurroid import protocol_closure
+from repro.core.errors import MetatheoryViolation
+from repro.core.state import SubjState
+
+from .helpers import CELL, BumpAction, CounterConcurroid, ReadCounterAction, counter_state
+
+
+@pytest.fixture()
+def conc():
+    return CounterConcurroid(cap=3)
+
+
+@pytest.fixture()
+def states(conc):
+    return sorted(protocol_closure(conc, [counter_state(conc)]), key=repr)
+
+
+class TestBumpAction:
+    def test_step_returns_old_value(self, conc):
+        s = counter_state(conc, 1, 1)
+        value, s2 = BumpAction(conc).step(s)
+        assert value == 2
+        assert s2.joint_of(conc.label)[CELL] == 3
+        assert s2.self_of(conc.label) == 2
+
+    def test_safe_respects_cap(self, conc):
+        s = counter_state(conc, 2, 1)  # cell = 3 = cap
+        assert not BumpAction(conc).safe(s)
+
+    def test_all_obligations_pass(self, conc, states):
+        assert check_action(BumpAction(conc), states) == []
+
+    def test_read_passes(self, conc, states):
+        assert check_action(ReadCounterAction(conc), states) == []
+
+
+class TestActionChecker:
+    def test_erasure_violation_caught(self, conc, states):
+        class SneakyBump(BumpAction):
+            def footprint(self, state, *args):
+                return frozenset()  # lies about touching the cell
+
+        issues = check_action(SneakyBump(conc), states)
+        assert any(i.condition == "erasure" for i in issues)
+
+    def test_footprint_growth_caught(self, conc, states):
+        from repro.heap import pts, ptr
+
+        class GrowingAction(BumpAction):
+            def step(self, state, *args):
+                value, s2 = super().step(state, *args)
+                lbl = self._conc.label
+                grown = s2.update(
+                    lbl, lambda c: c.with_joint(c.joint.join(pts(ptr(50), 0)))
+                )
+                return value, grown
+
+        issues = check_action(GrowingAction(conc), states)
+        # a non-allocating action must preserve the heap domain
+        assert any(i.condition == "erasure" for i in issues)
+
+    def test_other_mutation_caught(self, conc, states):
+        class OtherBump(BumpAction):
+            def step(self, state, *args):
+                lbl = self._conc.label
+                comp = state[lbl]
+                new = SubjState(
+                    comp.self_,
+                    comp.joint.update(CELL, comp.joint[CELL] + 1),
+                    comp.other + 1,
+                )
+                return comp.joint[CELL], state.set(lbl, new)
+
+        issues = check_action(OtherBump(conc), states)
+        assert any(i.condition == "other-preservation" for i in issues)
+
+    def test_correspondence_violation_caught(self, conc, states):
+        class DoubleBump(BumpAction):
+            def step(self, state, *args):
+                __, s1 = super().step(state, *args)
+                if self.safe(s1, *args):
+                    return 0, super().step(s1, *args)[1]  # two transitions at once
+                return 0, s1
+
+        issues = check_action(DoubleBump(conc), states)
+        assert any(i.condition == "transition-correspondence" for i in issues)
+
+    def test_locality_violation_caught(self, conc, states):
+        class PeekingRead(ReadCounterAction):
+            def step(self, state, *args):
+                # Result leaks the environment's contribution.
+                return state.other_of(self._conc.label), state
+
+        issues = check_action(PeekingRead(conc), states)
+        assert any(i.condition == "locality" for i in issues)
+
+    def test_exception_reported_as_totality(self, conc, states):
+        class CrashingBump(BumpAction):
+            def step(self, state, *args):
+                raise RuntimeError("boom")
+
+        issues = check_action(CrashingBump(conc), states)
+        assert any(i.condition == "totality" for i in issues)
+
+    def test_assert_raises(self, conc, states):
+        class CrashingBump(BumpAction):
+            def step(self, state, *args):
+                raise RuntimeError("boom")
+
+        with pytest.raises(MetatheoryViolation):
+            assert_action_ok(CrashingBump(conc), states)
+
+    def test_unsafe_states_skipped(self, conc):
+        s = counter_state(conc, 3, 0)  # at cap: bump unsafe, nothing to check
+        assert check_action(BumpAction(conc), [s]) == []

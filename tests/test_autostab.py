@@ -1,0 +1,150 @@
+"""Tests for the automatic stability prover (§7's lemma-overloading item)."""
+
+import pytest
+
+from repro.core.autostab import (
+    AutoAssertion,
+    auto_check_stability,
+    check_observable_monotone,
+    conj,
+    lower_bound,
+    opaque,
+    self_framed,
+)
+from repro.core.concurroid import check_concurroid, protocol_closure
+from repro.heap import ptr
+
+from .helpers import CELL, CounterConcurroid, counter_state
+
+
+@pytest.fixture()
+def conc():
+    return CounterConcurroid(cap=4)
+
+
+@pytest.fixture()
+def states(conc):
+    return sorted(protocol_closure(conc, [counter_state(conc)]), key=repr)
+
+
+@pytest.fixture()
+def metatheory_ok(conc, states):
+    assert check_concurroid(conc, states) == []
+    return True
+
+
+class TestMonotoneObservables:
+    def test_counter_cell_is_monotone(self, conc, states):
+        assert check_observable_monotone(conc, lambda s: s.joint_of("ct")[CELL], states) == []
+
+    def test_other_contribution_is_monotone(self, conc, states):
+        assert check_observable_monotone(conc, lambda s: s.other_of("ct"), states) == []
+
+    def test_non_monotone_detected(self, conc, states):
+        # cap - cell *decreases* along env bumps.
+        issues = check_observable_monotone(
+            conc, lambda s: 4 - s.joint_of("ct")[CELL], states
+        )
+        assert issues
+
+
+class TestTactics:
+    def test_self_framed_discharged_without_exploration(self, conc, states, metatheory_ok):
+        assertions = [
+            self_framed(f"self={a}", "ct", lambda v, a=a: v == a) for a in range(3)
+        ]
+        result = auto_check_stability(conc, states, assertions, metatheory_passed=True)
+        assert result.ok
+        assert result.explored == 0
+        assert set(result.tactic_counts()) == {"self-framed"}
+
+    def test_monotone_bounds_amortize_one_check(self, conc, states, metatheory_ok):
+        cell = lambda s: s.joint_of("ct")[CELL]
+        assertions = [lower_bound(f"cell>={c}", cell, c) for c in range(4)]
+        result = auto_check_stability(conc, states, assertions, metatheory_passed=True)
+        assert result.ok
+        assert result.monotone_checks == 1  # one pass serves all four bounds
+        assert result.explored == 0
+
+    def test_non_monotone_bound_falls_back_and_fails(self, conc, states, metatheory_ok):
+        # "cell <= 1" is genuinely unstable; the tactic must not discharge
+        # it, and the fallback exploration must refute it.
+        slack = lambda s: 4 - s.joint_of("ct")[CELL]
+        result = auto_check_stability(
+            conc,
+            states,
+            [lower_bound("cell<=1", slack, 3)],
+            metatheory_passed=True,
+        )
+        assert not result.ok
+        assert result.explored == 1
+
+    def test_conjunction(self, conc, states, metatheory_ok):
+        cell = lambda s: s.joint_of("ct")[CELL]
+        combined = conj(
+            "self=1 and cell>=1",
+            self_framed("self=1", "ct", lambda v: v == 1),
+            lower_bound("cell>=1", cell, 1),
+        )
+        result = auto_check_stability(conc, states, [combined], metatheory_passed=True)
+        assert result.ok
+        assert result.discharged_by["self=1 and cell>=1"] == "conjunction"
+
+    def test_opaque_assertions_explored(self, conc, states, metatheory_ok):
+        stable_opaque = opaque("cell is a nat", lambda s: s.joint_of("ct")[CELL] >= 0)
+        result = auto_check_stability(conc, states, [stable_opaque], metatheory_passed=True)
+        assert result.ok
+        assert result.discharged_by["cell is a nat"] == "explored"
+
+    def test_self_framed_needs_metatheory_voucher(self, conc, states):
+        # Without the voucher the tactic refuses and falls back (and still
+        # succeeds, since the assertion IS stable — just more slowly).
+        assertion = self_framed("self=0", "ct", lambda v: v == 0)
+        result = auto_check_stability(conc, states, [assertion], metatheory_passed=False)
+        assert result.ok
+        assert result.discharged_by["self=0"] == "explored"
+
+
+class TestOnRealStructures:
+    def test_span_stability_facts_automated(self):
+        from repro.structures.spanning_tree import SpanTreeConcurroid
+        from repro.structures.spanning_tree_verify import span_model_states
+
+        conc = SpanTreeConcurroid()
+        states = span_model_states(conc, max_nodes=2)
+        assert check_concurroid(conc, states) == []
+
+        marked = lambda s: s.self_of(conc.label) | s.other_of(conc.label)
+        assertions = [
+            self_framed("my marks fixed", "sp", lambda v: True),
+            lower_bound(
+                "node 1 stays marked",
+                marked,
+                frozenset((ptr(1),)),
+                leq=lambda a, b: a <= b,
+            ),
+            lower_bound(
+                "node 2 stays marked",
+                marked,
+                frozenset((ptr(2),)),
+                leq=lambda a, b: a <= b,
+            ),
+        ]
+        result = auto_check_stability(conc, states, assertions, metatheory_passed=True)
+        assert result.ok
+        assert result.monotone_checks == 1
+        assert result.explored == 0
+
+    def test_treiber_timestamp_bound_automated(self):
+        from repro.structures.treiber_verify import model_states, model_structure
+
+        model = model_structure()
+        states = model_states(model)
+        conc = model.concurroid
+        assert check_concurroid(conc, states) == []
+
+        last_ts = lambda s: model.treiber.total_history(s).last_timestamp()
+        assertions = [lower_bound(f"ts>={k}", last_ts, k) for k in (0, 1, 2)]
+        result = auto_check_stability(conc, states, assertions, metatheory_passed=True)
+        assert result.ok
+        assert result.monotone_checks == 1

@@ -1,0 +1,154 @@
+"""Tests for the coarse-grained clients: CG increment and CG allocator."""
+
+import pytest
+
+from repro.core import World
+from repro.core.prog import par, seq
+from repro.heap import EMPTY, pts, ptr
+from repro.semantics import explore, initial_config, run_deterministic
+from repro.structures.allocator import (
+    ALLOC_LABEL,
+    PRIV_LABEL,
+    AllocatorStructure,
+    alloc_spec,
+    dealloc_spec,
+    verify_cg_allocator,
+)
+from repro.structures.cg_increment import (
+    CELL,
+    incr,
+    incr_spec,
+    incr_twice_parallel,
+    initial_state,
+    make_increment_lock,
+    make_increment_ticketed_lock,
+    make_world,
+    verify_cg_increment,
+)
+
+
+class TestCGIncrement:
+    def test_single_increment(self):
+        lock = make_increment_lock()
+        cfg = initial_config(make_world(lock), initial_state(lock, 0, 0), incr(lock))
+        final = run_deterministic(cfg)
+        view = final.view_for(0)
+        assert lock.client_self(view) == 1
+        assert view.joint_of("lk")[CELL] == 1
+
+    def test_parallel_increments_all_interleavings(self):
+        lock = make_increment_lock()
+        spec = incr_spec(lock, 2)
+        init = initial_state(lock, 0, 0)
+        cfg = initial_config(make_world(lock), init, incr_twice_parallel(lock))
+        result = explore(cfg, max_steps=40)
+        assert result.ok
+        for terminal in result.terminals:
+            assert spec.check_post(terminal.result, terminal.view_for(0), init)
+
+    def test_spec_insensitive_to_environment_contribution(self):
+        lock = make_increment_lock()
+        for other in (0, 3):
+            init = initial_state(lock, 1, other)
+            cfg = initial_config(make_world(lock), init, incr(lock))
+            final = run_deterministic(cfg)
+            assert lock.client_self(final.view_for(0)) == 2
+
+    def test_verification_over_cas_lock(self):
+        report = verify_cg_increment()
+        assert report.ok, report.pretty()
+
+    @pytest.mark.slow
+    def test_verification_over_ticketed_lock(self):
+        # The abstract-interface payoff: same client, different lock.
+        report = verify_cg_increment(make_increment_ticketed_lock)
+        assert report.ok, report.pretty()
+
+    def test_client_row_has_dash_entries(self):
+        report = verify_cg_increment()
+        counts = report.counts_by_category()
+        assert counts["Conc"] == 0
+        assert counts["Acts"] == 0
+        assert counts["Stab"] == 0
+        assert counts["Main"] > 0
+
+
+class TestAllocator:
+    def test_alloc_transfers_a_pool_cell(self):
+        alloc = AllocatorStructure()
+        init = alloc.initial_state(pool=(101, 102))
+        cfg = initial_config(World((alloc.concurroid,)), init, alloc.alloc())
+        final = run_deterministic(cfg)
+        p = final.result
+        assert p == ptr(101)
+        view = final.view_for(0)
+        assert p in view.self_of(PRIV_LABEL)
+        assert p not in view.joint_of(ALLOC_LABEL)
+
+    def test_real_heap_preserved_by_transfer(self):
+        alloc = AllocatorStructure()
+        init = alloc.initial_state(pool=(101,))
+        cfg = initial_config(World((alloc.concurroid,)), init, alloc.alloc())
+        before = alloc.concurroid.real_heap(cfg.global_view())
+        final = run_deterministic(cfg)
+        after = alloc.concurroid.real_heap(final.global_view())
+        assert before.dom() == after.dom()
+
+    def test_alloc_dealloc_roundtrip(self):
+        alloc = AllocatorStructure()
+        init = alloc.initial_state(pool=(101,), my_heap=pts(ptr(103), 1))
+        prog = seq(alloc.dealloc(ptr(103)))
+        final = run_deterministic(initial_config(World((alloc.concurroid,)), init, prog))
+        view = final.view_for(0)
+        assert ptr(103) not in view.self_of(PRIV_LABEL)
+        assert view.joint_of(ALLOC_LABEL)[ptr(103)] == 0  # scrubbed, pooled
+
+    def test_parallel_allocs_get_distinct_cells(self):
+        alloc = AllocatorStructure()
+        init = alloc.initial_state(pool=(101, 102))
+        prog = par(alloc.alloc(), alloc.alloc())
+        result = explore(
+            initial_config(World((alloc.concurroid,)), init, prog), max_steps=60
+        )
+        assert result.ok
+        for terminal in result.terminals:
+            p1, p2 = terminal.result
+            assert p1 != p2
+
+    def test_alloc_spec_shape(self):
+        alloc = AllocatorStructure()
+        spec = alloc_spec(alloc)
+        init = alloc.initial_state(pool=(101,))
+        final = run_deterministic(
+            initial_config(World((alloc.concurroid,)), init, alloc.alloc())
+        )
+        assert spec.check_post(final.result, final.view_for(0), init)
+
+    def test_alloc_spins_on_empty_pool(self):
+        alloc = AllocatorStructure()
+        init = alloc.initial_state(pool=())
+        result = explore(
+            initial_config(World((alloc.concurroid,)), init, alloc.alloc()),
+            max_steps=30,
+        )
+        assert not result.terminals  # never succeeds; livelock, not crash
+        assert result.ok
+
+    def test_works_over_ticketed_lock(self):
+        from repro.structures.allocator import ALLOC_LOCK_PTR, pool_invariant
+        from repro.structures.locks.ticketed import make_ticketed_lock
+        from repro.pcm.base import UnitPCM
+
+        lock = make_ticketed_lock(
+            ALLOC_LABEL, ptr(98), ptr(99), UnitPCM(), pool_invariant, max_queue=3, max_tickets=4
+        )
+        alloc = AllocatorStructure(lock)
+        init = alloc.initial_state(pool=(101,))
+        final = run_deterministic(
+            initial_config(World((alloc.concurroid,)), init, alloc.alloc())
+        )
+        assert final.result == ptr(101)
+
+    def test_verification(self):
+        report = verify_cg_allocator()
+        assert report.ok, report.pretty()

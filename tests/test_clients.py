@@ -1,0 +1,159 @@
+"""Tests for the client programs: seq stack, FC-stack, producer/consumer."""
+
+import random
+
+import pytest
+
+from repro.core import World
+from repro.core.spec import Scenario
+from repro.core.verify import check_triple, triple_issues
+from repro.heap import ptr
+from repro.semantics import explore, initial_config, run_deterministic, run_random
+from repro.structures.fc_stack import FCStack, verify_fc_stack
+from repro.structures.prodcons import (
+    consumer,
+    prod_cons,
+    prod_cons_spec,
+    producer,
+    verify_prod_cons,
+)
+from repro.structures.seq_stack import SeqStack, _simulate, verify_seq_stack
+from repro.structures.treiber import TB_LABEL, TreiberStructure
+
+
+class TestSeqStack:
+    def test_lifo(self):
+        ss = SeqStack()
+        ops = [("push", 1), ("push", 2), ("pop", None), ("pop", None)]
+        final = run_deterministic(
+            initial_config(ss.world(), ss.initial_state(), ss.run_ops(ops))
+        )
+        assert final.result == (2, 1)
+
+    def test_pop_empty(self):
+        ss = SeqStack()
+        final = run_deterministic(
+            initial_config(ss.world(), ss.initial_state(), ss.run_ops([("pop", None)]))
+        )
+        assert final.result == (None,)
+
+    def test_heap_fully_reclaimed(self):
+        ss = SeqStack()
+        init = ss.initial_state()
+        final = run_deterministic(
+            initial_config(ss.world(), init, ss.run_ops([("push", 1), ("pop", None)]))
+        )
+        view = final.view_for(0)
+        assert view.self_of("pv").dom() == init.self_of("pv").dom()
+        assert view.labels() == {"pv"}  # hidden labels deinstalled
+
+    def test_simulation_oracle(self):
+        assert _simulate([("push", 1), ("push", 2), ("pop", None)]) == (2,)
+        assert _simulate([("pop", None), ("push", 3), ("pop", None)]) == (None, 3)
+
+    def test_spec_on_all_short_sequences(self):
+        from itertools import product
+
+        alphabet = [("push", 0), ("pop", None)]
+        for n in range(1, 4):
+            for ops in product(alphabet, repeat=n):
+                if sum(1 for k, __ in ops if k == "push") > 3:
+                    continue
+                ss = SeqStack()
+                spec = ss.sequential_spec(ops)
+                outcomes = check_triple(
+                    ss.world(),
+                    spec,
+                    [Scenario(ss.initial_state(), ss.run_ops(ops))],
+                    max_steps=120,
+                )
+                assert not triple_issues(outcomes), ops
+
+    def test_verification(self):
+        report = verify_seq_stack()
+        assert report.ok, report.pretty()
+        counts = report.counts_by_category()
+        assert counts["Conc"] == counts["Acts"] == counts["Stab"] == 0
+
+
+class TestFCStack:
+    def test_push_pop_roundtrip(self):
+        from repro.core.prog import seq
+
+        stack = FCStack()
+        prog = seq(stack.push(stack.slots[0], 1), stack.pop(stack.slots[0]))
+        final = run_deterministic(initial_config(stack.world(), stack.initial_state(), prog))
+        assert final.result == 1
+
+    def test_treiber_shaped_specs(self):
+        stack = FCStack()
+        outcomes = check_triple(
+            stack.world(),
+            stack.push_spec(1),
+            [Scenario(stack.initial_state(), stack.push(stack.slots[0], 1))],
+            max_steps=60,
+            env_budget=1,
+        )
+        assert not triple_issues(outcomes)
+
+    def test_verification(self):
+        report = verify_fc_stack()
+        assert report.ok, report.pretty()
+
+
+class TestProdCons:
+    def test_single_item(self):
+        ts = TreiberStructure(max_ops=3, pool=(101,))
+        final = run_deterministic(
+            initial_config(World((ts.concurroid,)), ts.initial_state(), prod_cons(ts, (7,)))
+        )
+        __, consumed = final.result
+        assert consumed == (7,)
+
+    def test_two_items_all_interleavings(self):
+        ts = TreiberStructure(max_ops=5, pool=(101, 102))
+        spec = prod_cons_spec(ts, (0, 1))
+        init = ts.initial_state()
+        result = explore(
+            initial_config(World((ts.concurroid,)), init, prod_cons(ts, (0, 1))),
+            max_steps=300,
+            max_configs=500_000,
+        )
+        assert result.ok
+        assert result.terminals
+        for terminal in result.terminals:
+            assert spec.check_post(terminal.result, terminal.view_for(0), init)
+
+    def test_consumer_retries_through_empty(self):
+        # Consumer starts first, sees empty, spins, eventually gets both.
+        ts = TreiberStructure(max_ops=5, pool=(101, 102))
+        rng = random.Random(9)
+        for __ in range(10):
+            final, violations = run_random(
+                initial_config(
+                    World((ts.concurroid,)), ts.initial_state(), prod_cons(ts, (1, 0))
+                ),
+                rng,
+                max_steps=3000,
+            )
+            assert not violations
+            assert final is not None
+            __, consumed = final.result
+            assert sorted(consumed) == [0, 1]
+
+    def test_verification(self):
+        report = verify_prod_cons()
+        assert report.ok, report.pretty()
+
+    def test_nothing_invented(self):
+        # A consumer asked for more than produced spins forever.
+        ts = TreiberStructure(max_ops=4, pool=(101,))
+        from repro.core.prog import par
+
+        prog = par(producer(ts, (1,)), consumer(ts, 2))
+        result = explore(
+            initial_config(World((ts.concurroid,)), ts.initial_state(), prog),
+            max_steps=60,
+        )
+        assert not result.terminals  # can never complete
+        assert result.ok

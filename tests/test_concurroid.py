@@ -1,0 +1,172 @@
+"""Unit tests for concurroids, metatheory checking and protocol closure."""
+
+import pytest
+
+from repro.core.concurroid import (
+    Transition,
+    assert_metatheory,
+    check_concurroid,
+    protocol_closure,
+)
+from repro.core.errors import MetatheoryViolation
+from repro.core.state import SubjState, state_of, subj
+
+from .helpers import CELL, CounterConcurroid, counter_state
+
+
+class TestCounterConcurroid:
+    def test_coherent_initial(self):
+        conc = CounterConcurroid()
+        assert conc.coherent(counter_state(conc, 1, 2))
+
+    def test_incoherent_when_cell_mismatch(self):
+        conc = CounterConcurroid()
+        s = counter_state(conc, 1, 2)
+        bad = s.update(conc.label, lambda c: c.with_joint(c.joint.update(CELL, 99)))
+        assert not conc.coherent(bad)
+
+    def test_missing_label_incoherent(self):
+        conc = CounterConcurroid()
+        assert not conc.coherent(state_of(zz=subj(0, 0, 0)))
+
+    def test_transition_bumps_self(self):
+        conc = CounterConcurroid()
+        s = counter_state(conc, 0, 0)
+        (t,) = conc.transitions()
+        successors = list(t.successors(s))
+        assert len(successors) == 1
+        __, s2 = successors[0]
+        assert s2.self_of(conc.label) == 1
+        assert s2.joint_of(conc.label)[CELL] == 1
+
+    def test_transition_guard(self):
+        conc = CounterConcurroid(cap=0)
+        s = counter_state(conc, 0, 0)
+        (t,) = conc.transitions()
+        assert not list(t.successors(s))
+
+    def test_env_moves_change_other(self):
+        conc = CounterConcurroid()
+        s = counter_state(conc, 1, 0)
+        moves = list(conc.env_moves(s))
+        assert len(moves) == 1
+        s2 = moves[0]
+        assert s2.self_of(conc.label) == 1  # my contribution untouched
+        assert s2.other_of(conc.label) == 1
+        assert s2.joint_of(conc.label)[CELL] == 2
+
+    def test_label_property(self):
+        assert CounterConcurroid().label == "ct"
+
+
+class TestMetatheoryChecker:
+    def test_counter_passes(self):
+        conc = CounterConcurroid()
+        states = protocol_closure(conc, [counter_state(conc)])
+        assert check_concurroid(conc, states) == []
+
+    def test_other_mutation_caught(self):
+        class BadConcurroid(CounterConcurroid):
+            def transitions(self):
+                lbl = self.label
+
+                def effect(state, __):
+                    # Illegally bumps `other` instead of `self`.
+                    def upd(comp):
+                        return SubjState(
+                            comp.self_,
+                            comp.joint.update(CELL, comp.joint[CELL] + 1),
+                            comp.other + 1,
+                        )
+
+                    return state.update(lbl, upd)
+
+                return (Transition(f"{lbl}.bad", lambda s, p: True, effect),)
+
+        conc = BadConcurroid()
+        issues = check_concurroid(conc, [counter_state(conc)])
+        assert any(i.condition == "other-preservation" for i in issues)
+
+    def test_coherence_break_caught(self):
+        class BadConcurroid(CounterConcurroid):
+            def transitions(self):
+                lbl = self.label
+
+                def effect(state, __):
+                    # Bumps the cell without recording a contribution.
+                    return state.update(
+                        lbl,
+                        lambda c: c.with_joint(c.joint.update(CELL, c.joint[CELL] + 1)),
+                    )
+
+                return (Transition(f"{lbl}.bad", lambda s, p: True, effect),)
+
+        conc = BadConcurroid()
+        issues = check_concurroid(conc, [counter_state(conc)])
+        assert any(i.condition == "coherence-preservation" for i in issues)
+
+    def test_footprint_change_caught(self):
+        from repro.heap import pts, ptr
+
+        class BadConcurroid(CounterConcurroid):
+            def transitions(self):
+                lbl = self.label
+
+                def effect(state, __):
+                    # Grows the joint heap: footprint violation.
+                    def upd(comp):
+                        return SubjState(
+                            comp.self_, comp.joint.join(pts(ptr(99), 0)), comp.other
+                        )
+
+                    return state.update(lbl, upd)
+
+                return (Transition(f"{lbl}.bad", lambda s, p: True, effect),)
+
+        conc = BadConcurroid()
+        issues = check_concurroid(conc, [counter_state(conc)])
+        assert any(i.condition == "footprint-preservation" for i in issues)
+
+    def test_fork_join_closure_violation_caught(self):
+        class NonClosedConcurroid(CounterConcurroid):
+            def coherent(self, state):
+                # Insists `self` is even: realigning an odd split breaks it.
+                return super().coherent(state) and state.self_of(self.label) % 2 == 0
+
+        conc = NonClosedConcurroid()
+        issues = check_concurroid(conc, [counter_state(conc, 2, 0)])
+        assert any(i.condition == "fork-join-closure" for i in issues)
+
+    def test_assert_metatheory_raises(self):
+        class BadConcurroid(CounterConcurroid):
+            def coherent(self, state):
+                return super().coherent(state) and state.self_of(self.label) % 2 == 0
+
+        conc = BadConcurroid()
+        with pytest.raises(MetatheoryViolation):
+            assert_metatheory(conc, [counter_state(conc, 2, 0)])
+
+    def test_incoherent_states_skipped(self):
+        conc = CounterConcurroid()
+        bad = counter_state(conc, 1, 0).update(
+            conc.label, lambda c: c.with_joint(c.joint.update(CELL, 42))
+        )
+        assert check_concurroid(conc, [bad]) == []
+
+
+class TestProtocolClosure:
+    def test_closure_reaches_cap(self):
+        conc = CounterConcurroid(cap=3)
+        states = protocol_closure(conc, [counter_state(conc)])
+        values = {s.joint_of(conc.label)[CELL] for s in states}
+        assert values == {0, 1, 2, 3}
+
+    def test_closure_includes_env_marked(self):
+        conc = CounterConcurroid(cap=2)
+        states = protocol_closure(conc, [counter_state(conc)])
+        assert any(s.other_of(conc.label) > 0 for s in states)
+
+    def test_closure_bound_raises(self):
+        conc = CounterConcurroid(cap=1000)
+        with pytest.raises(MetatheoryViolation):
+            protocol_closure(conc, [counter_state(conc)], max_states=10)

@@ -1,0 +1,103 @@
+"""Program-level erasure: auxiliary state never leaks into behaviour."""
+
+import pytest
+
+from repro.core import World
+from repro.core.prog import act, par, seq
+from repro.heap import pts, ptr
+from repro.pcm.histories import hist
+from repro.semantics.erasure import check_program_erasure, real_heap_of, run_schedule
+from repro.structures.cg_increment import (
+    incr,
+    initial_state as incr_initial,
+    make_increment_lock,
+    make_world,
+)
+from repro.structures.treiber import TreiberStructure
+
+from .helpers import BumpAction, CounterConcurroid, counter_state
+
+
+class TestRealHeap:
+    def test_counter_world(self):
+        conc = CounterConcurroid()
+        world = World((conc,))
+        s = counter_state(conc, 1, 2)
+        assert real_heap_of(world, s) == pts(ptr(7), 3)
+
+    def test_treiber_world_counts_private_and_pool(self):
+        ts = TreiberStructure(pool=(101,))
+        world = World((ts.concurroid,))
+        init = ts.initial_state(my_heap=pts(ptr(5), 0))
+        heap = real_heap_of(world, init)
+        assert ptr(5) in heap  # private
+        assert ptr(101) in heap  # pool
+        assert ptr(50) in heap  # TOP
+
+
+class TestDifferentialErasure:
+    def test_counter_aux_split_invisible(self):
+        # 3 total contributions, split (3,0) vs (0,3) vs (1,2): same heap,
+        # and the program's behaviour must be identical.
+        conc = CounterConcurroid(cap=10)
+        world = World((conc,))
+        inits = [counter_state(conc, a, 3 - a) for a in (3, 0, 1)]
+        prog = lambda: par(act(BumpAction(conc)), act(BumpAction(conc)))
+        assert check_program_erasure(world, inits, prog) == []
+
+    def test_increment_lock_aux_split_invisible(self):
+        lock = make_increment_lock()
+        world = make_world(lock)
+        inits = [incr_initial(lock, a, 4 - a) for a in (4, 2, 0)]
+        assert check_program_erasure(world, inits, lambda: incr(lock)) == []
+
+    def test_treiber_history_attribution_invisible(self):
+        # The same concrete stack, with the single push entry attributed to
+        # self vs to the environment: pops behave identically.
+        ts = TreiberStructure(max_ops=4, pool=(101,))
+        world = World((ts.concurroid,))
+        inits = [
+            ts.initial_state(stack_nodes=[(60, 1)], self_hist=hist((1, (), (1,)))),
+            ts.initial_state(stack_nodes=[(60, 1)], other_hist=hist((1, (), (1,)))),
+        ]
+        assert check_program_erasure(world, inits, ts.pop) == []
+
+    def test_differing_real_heaps_rejected(self):
+        conc = CounterConcurroid()
+        world = World((conc,))
+        inits = [counter_state(conc, 1, 0), counter_state(conc, 2, 0)]
+        issues = check_program_erasure(world, inits, lambda: act(BumpAction(conc)))
+        assert issues and "erase to the same real heap" in issues[0]
+
+    def test_aux_peeking_action_caught(self):
+        # An action whose RESULT depends on the subjective split breaks
+        # program-level erasure — the differential check sees it.
+        conc = CounterConcurroid(cap=10)
+
+        class Peek(BumpAction):
+            def step(self, state, *args):
+                __, s2 = super().step(state, *args)
+                return state.self_of("ct"), s2  # leaks the aux split!
+
+        world = World((conc,))
+        inits = [counter_state(conc, a, 3 - a) for a in (3, 0)]
+        issues = check_program_erasure(world, inits, lambda: act(Peek(conc)))
+        assert issues and "result diverges" in issues[0]
+
+
+class TestRunSchedule:
+    def test_deterministic_and_seeded_agree_on_sequential(self):
+        conc = CounterConcurroid(cap=5)
+        world = World((conc,))
+        prog = seq(act(BumpAction(conc)), act(BumpAction(conc)))
+        r1, h1 = run_schedule(world, counter_state(conc), prog)
+        r2, h2 = run_schedule(world, counter_state(conc), prog, seed=3)
+        assert (r1, h1) == (r2, h2)
+
+    def test_unsafe_action_faults(self):
+        from repro.core.errors import CrashError
+
+        conc = CounterConcurroid(cap=0)
+        world = World((conc,))
+        with pytest.raises(CrashError):
+            run_schedule(world, counter_state(conc), act(BumpAction(conc)))

@@ -1,0 +1,161 @@
+"""Tests for the evaluation harness (tables, figures, LOC)."""
+
+import pytest
+
+from repro.eval.figure2 import check_figure2_invariants, render as render_f2, replay_figure2
+from repro.eval.figure5 import (
+    diff_against_paper as f5_diff,
+    figure5_edges,
+    is_dag,
+    render as render_f5,
+    topological_order,
+)
+from repro.eval.loc import framework_loc, module_loc, modules_loc, repository_loc, structures_loc
+from repro.eval.table1 import PAPER_TABLE1, Table1Row, check_shape, render as render_t1
+from repro.eval.table2 import PAPER_TABLE2, build_table2, diff_against_paper, render as render_t2
+from repro.structures.registry import (
+    CONCURROID_COLUMNS,
+    FIGURE5_PAPER_EDGES,
+    all_programs,
+    program,
+)
+
+
+class TestRegistry:
+    def test_eleven_programs(self):
+        assert len(all_programs()) == 11
+
+    def test_names_match_paper_table1(self):
+        ours = {info.name for info in all_programs()}
+        assert ours == set(PAPER_TABLE1)
+
+    def test_lookup(self):
+        assert program("Treiber stack").depends_on == ("CG Allocator",)
+        with pytest.raises(KeyError):
+            program("Nonexistent")
+
+    def test_every_program_has_modules_and_verifier(self):
+        for info in all_programs():
+            assert info.modules
+            assert callable(info.verifier)
+
+    def test_concurroid_columns_are_known(self):
+        for info in all_programs():
+            for col in info.concurroids:
+                assert col in CONCURROID_COLUMNS
+
+
+class TestTable2:
+    def test_matches_paper_exactly(self):
+        assert diff_against_paper() == []
+
+    def test_render_mentions_match(self):
+        assert "matches paper Table 2 exactly" in render_t2()
+
+    def test_all_paper_rows_present(self):
+        ours = build_table2()
+        assert set(ours) == set(PAPER_TABLE2)
+
+
+class TestFigure5:
+    def test_matches_paper_exactly(self):
+        missing, extra = f5_diff()
+        assert not missing and not extra
+
+    def test_is_dag(self):
+        assert is_dag(figure5_edges())
+
+    def test_matches_networkx_topology(self):
+        # Cross-validate our Kahn implementation against networkx.
+        import networkx as nx
+
+        g = nx.DiGraph(sorted(figure5_edges()))
+        assert nx.is_directed_acyclic_graph(g)
+        position = {n: i for i, n in enumerate(topological_order(figure5_edges()))}
+        for a, b in figure5_edges():
+            assert position[a] < position[b]
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            topological_order(frozenset({("a", "b"), ("b", "a")}))
+
+    def test_render(self):
+        text = render_f5()
+        assert "matches paper Figure 5 exactly" in text
+        for a, b in FIGURE5_PAPER_EDGES:
+            assert f"{a} --> {b}" in text
+
+
+class TestFigure2:
+    def test_deterministic_replay(self):
+        stages, ok = replay_figure2()
+        assert ok
+        assert not check_figure2_invariants(stages)
+        assert stages[-1].black == frozenset("abcde")
+
+    def test_random_replays(self):
+        for seed in (2, 20):
+            stages, ok = replay_figure2(seed=seed)
+            assert ok
+            assert not check_figure2_invariants(stages)
+
+    def test_render_has_stage_lines(self):
+        stages, __ = replay_figure2()
+        text = render_f2(stages)
+        assert "stage 1:" in text
+        assert "a marked" in text
+
+    def test_invariant_checker_catches_regressions(self):
+        from repro.eval.figure2 import Stage
+
+        bogus = [
+            Stage(1, "x", grey=frozenset("a")),
+            Stage(2, "y", grey=frozenset()),  # marking went backwards
+        ]
+        assert check_figure2_invariants(bogus)
+
+
+class TestLoc:
+    def test_module_loc_positive(self):
+        assert module_loc("repro.heap.heap") > 50
+
+    def test_modules_loc_sums(self):
+        single = module_loc("repro.heap.heap")
+        double = modules_loc(("repro.heap.heap", "repro.heap.pointers"))
+        assert double > single
+
+    def test_framework_excludes_structures(self):
+        assert framework_loc() > 1000
+        assert structures_loc() > 1000
+
+    def test_repository_areas(self):
+        areas = repository_loc()
+        assert areas["src"] > areas["benchmarks"]
+        assert "tests" in areas
+
+
+class TestTable1Shape:
+    def _row(self, name, **counts):
+        base = {"Libs": 1, "Conc": 1, "Acts": 1, "Stab": 1, "Main": 1}
+        base.update(counts)
+        return Table1Row(name=name, obligations=base, loc=100, seconds=1.0, ok=True)
+
+    def test_client_with_infrastructure_flagged(self):
+        rows = [self._row("CG increment", Conc=1)]
+        assert any("expected '-'" in i for i in check_shape(rows))
+
+    def test_failed_verification_flagged(self):
+        row = self._row("CAS-lock")
+        row.ok = False
+        assert any("failed" in i for i in check_shape([row]))
+
+    def test_dash_rendering(self):
+        row = self._row("Seq. stack", Conc=0, Acts=0, Stab=0)
+        dashes = row.dashes()
+        assert dashes["Conc"] == "-"
+        assert dashes["Libs"] == "1"
+
+    def test_render_smoke(self):
+        rows = [self._row("CAS-lock"), self._row("Flat combiner", Main=2)]
+        text = render_t1(rows)
+        assert "CAS-lock" in text and "paper" in text

@@ -1,0 +1,169 @@
+"""Tests of schedule exploration: exhaustiveness, interference, stutters."""
+
+import random
+
+import pytest
+
+from repro.core.prog import act, bind, par, ret, ffix
+from repro.core.spec import Scenario, Spec
+from repro.core.verify import check_triple, triple_issues
+from repro.core.world import World
+from repro.semantics.explore import explore, run_random
+from repro.semantics.interp import initial_config
+
+from .helpers import BumpAction, CELL, CounterConcurroid, ReadCounterAction, counter_state
+
+
+@pytest.fixture()
+def conc():
+    return CounterConcurroid(cap=10)
+
+
+@pytest.fixture()
+def world(conc):
+    return World((conc,))
+
+
+class TestExhaustive:
+    def test_all_interleavings_reach_same_total(self, world, conc):
+        prog = par(act(BumpAction(conc)), act(BumpAction(conc)))
+        result = explore(initial_config(world, counter_state(conc), prog))
+        assert result.ok
+        assert result.terminals
+        for terminal in result.terminals:
+            assert terminal.joints[conc.label][CELL] == 2
+
+    def test_interleavings_produce_different_reads(self, world, conc):
+        prog = par(act(BumpAction(conc)), act(ReadCounterAction(conc)))
+        result = explore(initial_config(world, counter_state(conc), prog))
+        reads = {terminal.result[1] for terminal in result.terminals}
+        assert reads == {0, 1}  # read before and after the sibling bump
+
+    def test_env_interference_explored(self, world, conc):
+        prog = act(ReadCounterAction(conc))
+        result = explore(
+            initial_config(world, counter_state(conc), prog), env_budget=2
+        )
+        reads = {t.result for t in result.terminals}
+        assert reads == {0, 1, 2}  # env may bump 0, 1 or 2 times first
+
+    def test_env_budget_zero_means_no_interference(self, world, conc):
+        prog = act(ReadCounterAction(conc))
+        result = explore(initial_config(world, counter_state(conc), prog))
+        assert {t.result for t in result.terminals} == {0}
+
+    def test_max_configs_guard(self, world, conc):
+        prog = par(act(BumpAction(conc)), act(BumpAction(conc)))
+        result = explore(
+            initial_config(world, counter_state(conc), prog), max_configs=2
+        )
+        assert any(v.kind == "resource" for v in result.violations)
+
+    def test_truncation_counts_unfinished_paths(self, world, conc):
+        prog = par(act(BumpAction(conc)), act(BumpAction(conc)))
+        result = explore(
+            initial_config(world, counter_state(conc), prog), max_steps=1
+        )
+        assert result.truncated > 0
+        assert not result.terminals
+
+    def test_spin_loops_converge(self, conc):
+        # A thread spinning on an always-failing CAS-like action must not
+        # blow up the exploration: the retry reproduces its own position
+        # key and the memoization closes the loop.
+        class FailingTry(ReadCounterAction):
+            def step(self, state, *args):
+                return False, state
+
+        failing = FailingTry(conc)
+        spin = ffix(
+            lambda loop: lambda: bind(act(failing), lambda got: ret(1) if got else loop())
+        )
+        world = World((conc,))
+        result = explore(
+            initial_config(world, counter_state(conc), spin()), max_steps=50
+        )
+        assert result.explored < 5  # the loop has one repeating position
+        assert not result.terminals  # it genuinely never finishes
+        assert not result.violations
+
+    def test_repeated_identical_actions_terminate(self, conc):
+        # Regression (found by hypothesis): two *occurrences* of the same
+        # pure action in sequence must still reach the terminal — an
+        # earlier stutter-blocking heuristic wrongly suppressed this.
+        read = ReadCounterAction(conc)
+        prog = bind(act(read), lambda a: bind(act(read), lambda b: ret((a, b))))
+        world = World((conc,))
+        result = explore(initial_config(world, counter_state(conc), prog))
+        assert result.ok
+        assert [t.result for t in result.terminals] == [(0, 0)]
+
+
+class TestCheckTriple:
+    def _spec(self, conc, expect_total):
+        return Spec(
+            "totals",
+            pre=lambda s: True,
+            post=lambda r, s2, s1: s2.joint_of(conc.label)[CELL] == expect_total,
+        )
+
+    def test_passing_triple(self, world, conc):
+        prog = par(act(BumpAction(conc)), act(BumpAction(conc)))
+        outcomes = check_triple(
+            world,
+            self._spec(conc, 2),
+            [Scenario(counter_state(conc), prog)],
+        )
+        assert not triple_issues(outcomes)
+        assert outcomes[0].terminals > 0
+
+    def test_failing_postcondition_reported(self, world, conc):
+        prog = act(BumpAction(conc))
+        outcomes = check_triple(
+            world,
+            self._spec(conc, 5),
+            [Scenario(counter_state(conc), prog)],
+        )
+        issues = triple_issues(outcomes)
+        assert issues
+        assert "postcondition" in issues[0]
+
+    def test_failing_precondition_reported(self, world, conc):
+        spec = Spec("never", pre=lambda s: False, post=lambda r, s2, s1: True)
+        outcomes = check_triple(world, spec, [Scenario(counter_state(conc), ret(None))])
+        assert "precondition" in triple_issues(outcomes)[0]
+
+    def test_crash_reported(self, conc):
+        tiny = CounterConcurroid(cap=0)
+        world = World((tiny,))
+        spec = Spec("any", pre=lambda s: True, post=lambda r, s2, s1: True)
+        outcomes = check_triple(
+            world, spec, [Scenario(counter_state(tiny), act(BumpAction(tiny)))]
+        )
+        assert any("CrashError" in i for i in triple_issues(outcomes))
+
+
+class TestRandom:
+    def test_random_run_terminates(self, world, conc):
+        prog = par(act(BumpAction(conc)), act(BumpAction(conc)))
+        final, violations = run_random(
+            initial_config(world, counter_state(conc), prog), random.Random(3)
+        )
+        assert not violations
+        assert final is not None
+        assert final.joints[conc.label][CELL] == 2
+
+    def test_random_with_interference(self, world, conc):
+        prog = act(ReadCounterAction(conc))
+        seen = set()
+        rng = random.Random(0)
+        for __ in range(30):
+            final, violations = run_random(
+                initial_config(world, counter_state(conc), prog),
+                rng,
+                env_prob=0.5,
+                env_budget=2,
+            )
+            assert not violations
+            seen.add(final.result)
+        assert 0 in seen and len(seen) > 1

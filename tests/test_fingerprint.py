@@ -1,0 +1,131 @@
+"""Tests for continuation fingerprinting and exploration dedupe soundness."""
+
+import pytest
+
+from repro.core import World
+from repro.core.prog import Call, act, bind, ffix, par, ret, seq
+from repro.semantics import explore, initial_config
+from repro.semantics.interp import fingerprint
+
+from .helpers import BumpAction, CounterConcurroid, ReadCounterAction, counter_state
+
+
+@pytest.fixture()
+def conc():
+    return CounterConcurroid(cap=10)
+
+
+@pytest.fixture()
+def world(conc):
+    return World((conc,))
+
+
+class TestFingerprint:
+    def test_primitives(self):
+        assert fingerprint(3) == 3
+        assert fingerprint("x") == "x"
+        assert fingerprint(None) is None
+        assert fingerprint((1, "a")) == (1, "a")
+
+    def test_equal_programs_equal_fingerprints(self, conc):
+        # Two separately-constructed but identical programs: one shared
+        # code object, same captures.
+        def build():
+            return bind(act(BumpAction(conc)), lambda v: ret(v))
+
+        # NB: separate BumpAction objects differ (actions are compared by
+        # identity — they ARE the semantics), so share the action:
+        action = BumpAction(conc)
+
+        def build_shared(k):
+            return bind(act(action), lambda v: ret(v + k))
+
+        assert fingerprint(build_shared(1)) == fingerprint(build_shared(1))
+        assert fingerprint(build_shared(1)) != fingerprint(build_shared(2))
+
+    def test_distinct_actions_distinct_fingerprints(self, conc):
+        assert fingerprint(act(BumpAction(conc))) != fingerprint(act(BumpAction(conc)))
+
+    def test_loop_iterations_share_fingerprints(self, conc):
+        # The crucial property for spin loops: re-entering the same loop
+        # position yields the same fingerprint even though the closure
+        # objects are fresh.
+        action = ReadCounterAction(conc)
+        spin = ffix(lambda loop: lambda: bind(act(action), lambda __: loop()))
+        first = spin()
+        expanded = first.expand()  # one unfolding: Bind(act, cont)
+        again = expanded.cont(None)  # the recursive Call node
+        assert fingerprint(first) == fingerprint(again)
+
+    def test_cyclic_closures_terminate(self):
+        def knot():
+            def f():
+                return f
+
+            return f
+
+        fp = fingerprint(knot())
+        assert fp[0] == "fn"
+
+    def test_captured_value_distinguishes(self, conc):
+        action = ReadCounterAction(conc)
+
+        def with_capture(x):
+            return bind(act(action), lambda v: ret(x))
+
+        assert fingerprint(with_capture(1)) != fingerprint(with_capture(2))
+
+    def test_unhashable_falls_back_to_id(self):
+        box = {"k": 1}
+        fp1 = fingerprint(box)
+        fp2 = fingerprint(box)
+        assert fp1 == fp2
+        assert fp1[0] == "id"
+
+
+class TestDedupeSoundness:
+    def test_same_terminals_with_and_without_dedupe(self, world, conc):
+        # On a finite, loop-free program the deduped exploration must find
+        # exactly the same set of terminal outcomes as the full tree.
+        def make_prog():
+            action = BumpAction(conc)
+            read = ReadCounterAction(conc)
+            return par(act(action), bind(act(read), lambda v: ret(v)))
+
+        outcomes = {}
+        for dedupe in (True, False):
+            result = explore(
+                initial_config(world, counter_state(conc), make_prog()),
+                max_steps=30,
+                dedupe=dedupe,
+            )
+            assert result.ok
+            outcomes[dedupe] = {
+                (t.result, t.shared_signature()) for t in result.terminals
+            }
+        assert outcomes[True] == outcomes[False]
+
+    def test_dedupe_converges_on_spin_loop(self, world, conc):
+        # Without dedupe a spin loop truncates; with dedupe it converges.
+        class NeverTrue(ReadCounterAction):
+            def step(self, state, *args):
+                return False, state
+
+        action = NeverTrue(conc)
+        spin = ffix(lambda loop: lambda: bind(act(action), lambda got: ret(1) if got else loop()))
+        result = explore(
+            initial_config(world, counter_state(conc), spin()), max_steps=500
+        )
+        assert result.explored < 10
+        assert not result.violations
+
+    def test_deeper_revisits_not_lost(self, world, conc):
+        # A position reached first near the depth bound and later with more
+        # remaining depth must be re-explored (the min-steps rule).
+        action = BumpAction(conc)
+        prog = par(act(action), seq(act(action), act(action)))
+        shallow = explore(
+            initial_config(world, counter_state(conc), prog), max_steps=3
+        )
+        assert shallow.ok
+        assert shallow.terminals  # 3 actions fit exactly in 3 steps

@@ -1,0 +1,170 @@
+"""Tests for the linearizability checker and the history bridge."""
+
+import random
+
+import pytest
+
+from repro.core import World
+from repro.core.prog import par, seq
+from repro.linearize import (
+    ConcurrentHistory,
+    HistoryRecorder,
+    Operation,
+    assert_linearizable,
+    linearize,
+    register_model,
+    stack_model,
+    tracked,
+)
+from repro.semantics import initial_config, run_random, run_deterministic
+from repro.structures.treiber import TreiberStructure
+
+
+def op(op_id, thread, name, arg, result, invoked, responded):
+    return Operation(op_id, thread, name, arg, result, invoked, responded)
+
+
+class TestChecker:
+    def test_empty_history(self):
+        assert linearize(ConcurrentHistory(), stack_model, ())
+
+    def test_sequential_history(self):
+        h = ConcurrentHistory([
+            op(0, 1, "push", 5, None, 1, 2),
+            op(1, 1, "pop", None, 5, 3, 4),
+        ])
+        result = linearize(h, stack_model, ())
+        assert result
+        assert [o.op for o in result.witness] == ["push", "pop"]
+
+    def test_overlapping_ops_reorderable(self):
+        # pop overlaps push and sees its value: must linearize push first.
+        h = ConcurrentHistory([
+            op(0, 1, "push", 5, None, 2, 5),
+            op(1, 2, "pop", None, 5, 1, 6),
+        ])
+        assert linearize(h, stack_model, ())
+
+    def test_real_time_order_enforced(self):
+        # pop COMPLETED before push was invoked, yet saw its value: bogus.
+        h = ConcurrentHistory([
+            op(0, 2, "pop", None, 5, 1, 2),
+            op(1, 1, "push", 5, None, 3, 4),
+        ])
+        assert not linearize(h, stack_model, ())
+
+    def test_wrong_result_rejected(self):
+        h = ConcurrentHistory([
+            op(0, 1, "push", 5, None, 1, 2),
+            op(1, 1, "pop", None, 99, 3, 4),
+        ])
+        assert not linearize(h, stack_model, ())
+
+    def test_pop_empty_allowed_when_overlapping(self):
+        h = ConcurrentHistory([
+            op(0, 1, "push", 5, None, 1, 4),
+            op(1, 2, "pop", None, None, 2, 3),  # linearized before the push
+        ])
+        assert linearize(h, stack_model, ())
+
+    def test_register_model(self):
+        h = ConcurrentHistory([
+            op(0, 1, "write", 3, None, 1, 2),
+            op(1, 2, "read", None, 3, 3, 4),
+        ])
+        assert linearize(h, register_model, 0)
+
+    def test_assert_raises_on_violation(self):
+        h = ConcurrentHistory([op(0, 1, "pop", None, 42, 1, 2)])
+        with pytest.raises(AssertionError):
+            assert_linearizable(h, stack_model, ())
+
+    def test_lifo_vs_fifo_distinguished(self):
+        # Sequential: push 1; push 2; pop -> a queue would return 1.
+        h = ConcurrentHistory([
+            op(0, 1, "push", 1, None, 1, 2),
+            op(1, 1, "push", 2, None, 3, 4),
+            op(2, 1, "pop", None, 1, 5, 6),
+        ])
+        assert not linearize(h, stack_model, ())
+
+
+class TestRecorder:
+    def test_records_intervals(self):
+        rec = HistoryRecorder()
+        a = rec.invoke(1, "push", 5)
+        b = rec.invoke(2, "pop", None)
+        rec.respond(a, None)
+        rec.respond(b, 5)
+        history = rec.history()
+        ops = history.operations
+        assert len(ops) == 2
+        assert ops[0].overlaps(ops[1])
+
+    def test_incomplete_history_rejected(self):
+        rec = HistoryRecorder()
+        rec.invoke(1, "push", 5)
+        with pytest.raises(ValueError):
+            rec.history()
+
+    def test_well_nested_per_thread(self):
+        rec = HistoryRecorder()
+        a = rec.invoke(1, "push", 1)
+        rec.respond(a, None)
+        b = rec.invoke(1, "pop", None)
+        rec.respond(b, 1)
+        assert rec.history().sequential_orderings()
+
+
+class TestTreiberLinearizability:
+    def test_deterministic_run(self):
+        ts = TreiberStructure(max_ops=4, pool=(101, 102))
+        rec = HistoryRecorder()
+        prog = seq(
+            tracked(rec, 1, "push", 1, ts.push(1)),
+            tracked(rec, 1, "pop", None, ts.pop()),
+        )
+        run_deterministic(initial_config(World((ts.concurroid,)), ts.initial_state(), prog))
+        assert_linearizable(rec.history(), stack_model, ())
+
+    def test_random_concurrent_runs(self):
+        rng = random.Random(23)
+        for __ in range(15):
+            ts = TreiberStructure(max_ops=6, pool=(101, 102, 103))
+            rec = HistoryRecorder()
+            prog = par(
+                par(
+                    tracked(rec, 1, "push", 1, ts.push(1)),
+                    tracked(rec, 2, "push", 2, ts.push(2)),
+                ),
+                par(
+                    tracked(rec, 3, "pop", None, ts.pop()),
+                    tracked(rec, 4, "pop", None, ts.pop()),
+                ),
+            )
+            final, violations = run_random(
+                initial_config(World((ts.concurroid,)), ts.initial_state(), prog),
+                rng,
+                max_steps=3000,
+            )
+            assert not violations and final is not None
+            assert_linearizable(rec.history(), stack_model, ())
+
+    def test_fc_stack_runs_are_linearizable(self):
+        from repro.structures.fc_stack import FCStack
+
+        rng = random.Random(31)
+        for __ in range(10):
+            stack = FCStack(max_ops=4)
+            rec = HistoryRecorder()
+            prog = par(
+                tracked(rec, 1, "push", 1, stack.push(stack.slots[0], 1)),
+                tracked(rec, 2, "pop", None, stack.pop(stack.slots[1])),
+            )
+            final, violations = run_random(
+                initial_config(stack.world(), stack.initial_state(), prog),
+                rng,
+                max_steps=3000,
+            )
+            assert not violations and final is not None
+            assert_linearizable(rec.history(), stack_model, ())

@@ -1,0 +1,193 @@
+"""Tests for the lock family: CAS-lock, ticketed lock, abstract interface."""
+
+import pytest
+
+from repro.core import World
+from repro.core.concurroid import check_concurroid, protocol_closure
+from repro.core.errors import CrashError
+from repro.core.prog import par
+from repro.core.spec import Scenario, Spec
+from repro.core.verify import check_triple, triple_issues
+from repro.heap import pts, ptr
+from repro.pcm.mutex import Mutex
+from repro.semantics import initial_config, run_deterministic
+from repro.structures.locks.verify import (
+    RES_CELL,
+    bump_client,
+    lock_initial_state,
+    lock_world,
+    make_counter_cas_lock,
+    make_counter_ticketed_lock,
+    verify_cas_lock,
+    verify_ticketed_lock,
+)
+
+
+@pytest.fixture(params=["cas", "ticketed"])
+def lock(request):
+    if request.param == "cas":
+        return make_counter_cas_lock()
+    return make_counter_ticketed_lock()
+
+
+class TestAbstractInterface:
+    def test_initially_quiescent_and_unlocked(self, lock):
+        s = lock_initial_state(lock)
+        assert lock.quiescent(s)
+        assert not lock.holds(s)
+        assert not lock.locked(s)
+
+    def test_resource_projection(self, lock):
+        s = lock_initial_state(lock, 2, 3)
+        assert lock.resource(s) == pts(RES_CELL, 5)
+
+    def test_client_projections(self, lock):
+        s = lock_initial_state(lock, 2, 3)
+        assert lock.client_self(s) == 2
+        assert lock.client_total(s) == 5
+
+    def test_bump_client_runs(self, lock):
+        world = lock_world(lock)
+        cfg = initial_config(world, lock_initial_state(lock), bump_client(lock))
+        final = run_deterministic(cfg)
+        view = final.view_for(0)
+        assert lock.client_self(view) == 1
+        assert lock.resource(view)[RES_CELL] == 1
+        assert lock.quiescent(view)
+
+    def test_two_parallel_bumps(self, lock):
+        world = lock_world(lock)
+        prog = par(bump_client(lock), bump_client(lock))
+        final = run_deterministic(initial_config(world, lock_initial_state(lock), prog))
+        view = final.view_for(0)
+        assert lock.client_self(view) == 2
+        assert lock.resource(view)[RES_CELL] == 2
+
+
+class TestCASLockProtocol:
+    def test_acquire_sets_bit_and_mutex(self):
+        lock = make_counter_cas_lock()
+        s = lock_initial_state(lock)
+        value, s2 = lock.try_acquire_action.step(s)
+        assert value is True
+        assert lock.holds(s2)
+        assert lock.locked(s2)
+
+    def test_acquire_fails_when_held(self):
+        lock = make_counter_cas_lock()
+        s = lock_initial_state(lock)
+        __, s2 = lock.try_acquire_action.step(s)
+        value, s3 = lock.try_acquire_action.step(s2)
+        assert value is False
+        assert s3 == s2
+
+    def test_write_requires_lock(self):
+        lock = make_counter_cas_lock()
+        s = lock_initial_state(lock)
+        assert not lock.write_action.safe(s, RES_CELL, 5)
+
+    def test_release_requires_invariant(self):
+        from repro.structures.locks.caslock import ReleaseAction
+
+        lock = make_counter_cas_lock()
+        s = lock_initial_state(lock)
+        __, held = lock.try_acquire_action.step(s)
+        # Releasing without bumping the cell but claiming +1 breaks the
+        # invariant -> unsafe.
+        bad = ReleaseAction(lock, lambda a: a + 1)
+        assert not bad.safe(held)
+        good = ReleaseAction(lock, lambda a: a)
+        assert good.safe(held)
+
+    def test_double_owner_is_incoherent(self):
+        lock = make_counter_cas_lock()
+        conc = lock.concurroid
+        s = lock_initial_state(lock)
+        both = s.update(
+            conc.label,
+            lambda c: c.with_self((Mutex.OWN, 0)).with_other((Mutex.OWN, 0)),
+        )
+        assert not conc.coherent(both)
+
+
+class TestTicketedLockProtocol:
+    def test_draw_assigns_increasing_tickets(self):
+        lock = make_counter_ticketed_lock()
+        s = lock_initial_state(lock)
+        t0, s1 = lock.draw_action.step(s)
+        t1, s2 = lock.draw_action.step(s1)
+        assert (t0, t1) == (0, 1)
+
+    def test_first_ticket_is_served_immediately(self):
+        lock = make_counter_ticketed_lock()
+        s = lock_initial_state(lock)
+        __, s1 = lock.draw_action.step(s)
+        assert lock.holds(s1)
+
+    def test_queued_ticket_not_served(self):
+        lock = make_counter_ticketed_lock()
+        conc = lock.concurroid
+        s = lock_initial_state(lock)
+        __, s1 = lock.draw_action.step(s)
+        # Transfer the first ticket to `other` (it belongs to someone else).
+        comp = s1[conc.label]
+        s_queued = s1.set(
+            conc.label,
+            comp.with_self((frozenset(), 0)).with_other((frozenset({0}), 0)),
+        )
+        ticket, s2 = lock.draw_action.step(s_queued)
+        assert ticket == 1
+        assert not lock.holds(s2)  # ticket 0 is still being served
+
+    def test_not_holds_is_unstable_but_quiescent_is_stable(self):
+        # The regression the checker originally caught: "not holds" breaks
+        # when the environment releases and promotes my queued ticket.
+        from repro.core.stability import check_stability
+
+        lock = make_counter_ticketed_lock()
+        conc = lock.concurroid
+        states = sorted(
+            protocol_closure(conc, [lock_initial_state(lock)], max_states=50_000),
+            key=repr,
+        )
+        unstable = check_stability(
+            lambda s: not lock.holds(s), "not holds", conc, states
+        )
+        assert unstable, "expected 'not holds' to be unstable for a ticketed lock"
+        stable = check_stability(
+            lambda s: lock.quiescent(s), "quiescent", conc, states
+        )
+        assert stable == []
+
+    def test_draw_crashes_beyond_model_bound(self):
+        lock = make_counter_ticketed_lock()
+        s = lock_initial_state(lock)
+        for __ in range(3):  # max_queue = 3
+            assert lock.draw_action.safe(s)
+            ___, s = lock.draw_action.step(s)
+        assert not lock.draw_action.safe(s)
+
+
+class TestLockVerifications:
+    def test_cas_lock_verifies(self):
+        report = verify_cas_lock()
+        assert report.ok, report.pretty()
+
+    @pytest.mark.slow
+    def test_ticketed_lock_verifies(self):
+        report = verify_ticketed_lock()
+        assert report.ok, report.pretty()
+
+    def test_mutual_exclusion_counterexample_detected(self):
+        # A broken client that writes without acquiring must crash.
+        lock = make_counter_cas_lock()
+        world = lock_world(lock)
+        spec = Spec("broken", lambda s: True, lambda r, s2, s1: True)
+        from repro.core.prog import act
+
+        outcomes = check_triple(
+            world,
+            spec,
+            [Scenario(lock_initial_state(lock), act(lock.write_action, RES_CELL, 9))],
+        )
+        assert any("CrashError" in i for i in triple_issues(outcomes))

@@ -1,0 +1,142 @@
+"""Tests for the atomic pair snapshot."""
+
+import pytest
+
+from repro.core import World
+from repro.core.prog import par
+from repro.core.spec import Scenario
+from repro.core.verify import check_triple, triple_issues
+from repro.semantics import explore, initial_config, run_deterministic
+from repro.structures.pair_snapshot import (
+    X,
+    Y,
+    PairSnapshotActions,
+    PairSnapshotConcurroid,
+    initial_state,
+    make_read_pair,
+    pair_states_since,
+    read_pair_spec,
+    verify_pair_snapshot,
+    write_prog,
+    write_spec,
+)
+
+
+@pytest.fixture()
+def conc():
+    return PairSnapshotConcurroid()
+
+
+@pytest.fixture()
+def actions(conc):
+    return PairSnapshotActions(conc)
+
+
+class TestProtocol:
+    def test_initial_coherent(self, conc):
+        assert conc.coherent(initial_state(conc))
+
+    def test_write_bumps_version_and_history(self, conc, actions):
+        s = initial_state(conc)
+        __, s2 = actions.write_x.step(s, 1)
+        (cx, vx), ___ = conc.cells(s2)
+        assert (cx, vx) == (1, 1)
+        assert len(s2.self_of(conc.label)) == 1
+
+    def test_idempotent_write_still_bumps_version(self, conc, actions):
+        s = initial_state(conc)
+        __, s2 = actions.write_x.step(s, 0)  # same content
+        (cx, vx), ___ = conc.cells(s2)
+        assert (cx, vx) == (0, 1)
+
+    def test_write_budget_enforced(self, conc, actions):
+        s = initial_state(conc)
+        for __ in range(conc._max_writes):
+            assert actions.write_x.safe(s, 1)
+            ___, s = actions.write_x.step(s, 1)
+        assert not actions.write_x.safe(s, 0)
+
+    def test_read_is_pure(self, conc, actions):
+        s = initial_state(conc)
+        value, s2 = actions.read_x.step(s)
+        assert value == (0, 0)
+        assert s2 == s
+
+
+class TestReadPair:
+    def test_sequential_snapshot(self, conc, actions):
+        final = run_deterministic(
+            initial_config(World((conc,)), initial_state(conc), make_read_pair(actions))
+        )
+        assert final.result == (0, 0)
+
+    def test_snapshot_under_full_interference(self, conc, actions):
+        spec = read_pair_spec(conc)
+        init = initial_state(conc)
+        outcomes = check_triple(
+            World((conc,)),
+            spec,
+            [Scenario(init, make_read_pair(actions))],
+            max_steps=30,
+            env_budget=3,
+        )
+        assert not triple_issues(outcomes)
+        assert outcomes[0].terminals > 1
+
+    def test_snapshot_races_with_writers(self, conc, actions):
+        init = initial_state(conc)
+        prog = par(make_read_pair(actions), par(write_prog(actions, X, 1), write_prog(actions, Y, 1)))
+        result = explore(initial_config(World((conc,)), init, prog), max_steps=40)
+        assert result.ok
+        snapshots = {terminal.result[0] for terminal in result.terminals}
+        # Depending on interleaving the snapshot sees any consistent stage.
+        assert (0, 0) in snapshots and (1, 1) in snapshots
+        for terminal in result.terminals:
+            states = set(pair_states_since(conc, init, terminal.view_for(0)))
+            assert tuple(terminal.result[0]) in states
+
+    def test_torn_read_would_be_rejected(self, conc, actions):
+        # Failure injection: a read_pair WITHOUT the version re-check can
+        # return a pair that never existed; the spec must catch it.
+        from repro.core.prog import act, bind, ret
+
+        torn = bind(
+            act(actions.read_x),
+            lambda x1: bind(act(actions.read_y), lambda y1: ret((x1[0], y1[0]))),
+        )
+        spec = read_pair_spec(conc)
+        init = initial_state(conc)
+        outcomes = check_triple(
+            World((conc,)),
+            spec,
+            [Scenario(init, torn)],
+            max_steps=30,
+            env_budget=3,
+        )
+        assert triple_issues(outcomes), "torn read must violate read_pair_tp"
+
+
+class TestWriteSpec:
+    def test_write_triple(self, conc, actions):
+        outcomes = check_triple(
+            World((conc,)),
+            write_spec(conc, X, 1),
+            [Scenario(initial_state(conc), write_prog(actions, X, 1))],
+            env_budget=2,
+        )
+        assert not triple_issues(outcomes)
+
+
+class TestVerification:
+    @pytest.mark.slow
+    def test_full_verification(self):
+        report = verify_pair_snapshot()
+        assert report.ok, report.pretty()
+
+    def test_uses_only_its_own_concurroid(self):
+        # Table 2: the pair snapshot row marks ReadPair only.
+        from repro.structures.registry import program
+
+        info = program("Pair snapshot")
+        assert info.uses("ReadPair") == "yes"
+        assert not info.uses("Priv")

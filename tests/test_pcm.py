@@ -1,0 +1,259 @@
+"""Unit tests for the PCM catalogue and its laws."""
+
+import pytest
+
+from repro.heap import EMPTY, pts, ptr
+from repro.pcm import (
+    EMPTY_HISTORY,
+    LIFT_UNIT,
+    NOT_OWN,
+    OWN,
+    UNDEF,
+    HeapPCM,
+    HistEntry,
+    History,
+    HistoryPCM,
+    LiftPCM,
+    Mutex,
+    MutexPCM,
+    NatPCM,
+    ProductPCM,
+    SetPCM,
+    Undef,
+    UnitPCM,
+    assert_pcm_laws,
+    check_all_laws,
+    exclusive_pcm,
+    hist,
+    singleton,
+)
+
+ALL_PCMS = [
+    UnitPCM(),
+    NatPCM(),
+    SetPCM(),
+    SetPCM(universe=("x", "y")),
+    HeapPCM(),
+    MutexPCM(),
+    HistoryPCM(),
+    ProductPCM(MutexPCM(), NatPCM(sample_bound=3)),
+    exclusive_pcm(),
+    LiftPCM(op=lambda a, b: a + b, raw_sample=(1, 2), name="lift-sum"),
+]
+
+
+@pytest.mark.parametrize("pcm", ALL_PCMS, ids=lambda p: p.name)
+def test_pcm_laws_hold(pcm):
+    assert_pcm_laws(pcm)
+
+
+class TestUndef:
+    def test_undef_equality_ignores_reason(self):
+        assert Undef("a") == Undef("b")
+        assert hash(Undef("a")) == hash(Undef("b"))
+
+    def test_undef_repr_carries_reason(self):
+        assert "because" in repr(Undef("because"))
+
+
+class TestNatPCM:
+    def test_join_is_addition(self):
+        assert NatPCM().join(2, 3) == 5
+
+    def test_unit_is_zero(self):
+        assert NatPCM().unit == 0
+
+    def test_negative_invalid(self):
+        assert not NatPCM().valid(-1)
+
+    def test_bool_is_not_nat(self):
+        assert not NatPCM().valid(True)
+
+    def test_join_with_undef(self):
+        assert NatPCM().join(UNDEF, 1) == UNDEF
+
+    def test_sample_bound_validation(self):
+        with pytest.raises(ValueError):
+            NatPCM(sample_bound=0)
+
+
+class TestSetPCM:
+    def test_disjoint_union(self):
+        pcm = SetPCM()
+        assert pcm.join(frozenset("a"), frozenset("b")) == frozenset("ab")
+
+    def test_overlap_undefined(self):
+        pcm = SetPCM()
+        assert not pcm.valid(pcm.join(frozenset("a"), frozenset("a")))
+
+    def test_universe_restricts_validity(self):
+        pcm = SetPCM(universe=("x",))
+        assert pcm.valid(frozenset("x"))
+        assert not pcm.valid(frozenset("z"))
+
+    def test_singleton_helper(self):
+        assert singleton(3) == frozenset((3,))
+
+    def test_join_all(self):
+        pcm = SetPCM()
+        assert pcm.join_all([frozenset("a"), frozenset("b")]) == frozenset("ab")
+
+
+class TestHeapPCM:
+    def test_join_disjoint(self):
+        pcm = HeapPCM()
+        joined = pcm.join(pts(ptr(1), 0), pts(ptr(2), 0))
+        assert pcm.valid(joined)
+
+    def test_join_overlap_invalid(self):
+        pcm = HeapPCM()
+        assert not pcm.valid(pcm.join(pts(ptr(1), 0), pts(ptr(1), 1)))
+
+    def test_unit_is_empty_heap(self):
+        assert HeapPCM().unit == EMPTY
+
+    def test_non_heap_invalid(self):
+        assert not HeapPCM().valid(42)
+
+
+class TestMutexPCM:
+    def test_two_owners_undefined(self):
+        pcm = MutexPCM()
+        assert not pcm.valid(pcm.join(OWN, OWN))
+
+    def test_own_dominates(self):
+        pcm = MutexPCM()
+        assert pcm.join(OWN, NOT_OWN) is Mutex.OWN
+
+    def test_unit_not_own(self):
+        assert MutexPCM().unit is NOT_OWN
+
+
+class TestHistoryPCM:
+    def test_disjoint_timestamps_join(self):
+        pcm = HistoryPCM()
+        h = pcm.join(hist((1, "a", "b")), hist((2, "b", "c")))
+        assert isinstance(h, History)
+        assert h.timestamps() == {1, 2}
+
+    def test_timestamp_collision_undefined(self):
+        pcm = HistoryPCM()
+        joined = pcm.join(hist((1, "a", "b")), hist((1, "a", "c")))
+        assert not pcm.valid(joined)
+
+    def test_extend_rejects_reuse(self):
+        with pytest.raises(ValueError):
+            hist((1, "a", "b")).extend(1, HistEntry("a", "c"))
+
+    def test_continuity(self):
+        h = hist((1, "s0", "s1"), (2, "s1", "s2"))
+        assert h.continuous_from("s0")
+        assert not h.continuous_from("s1")
+
+    def test_gap_breaks_continuity(self):
+        assert not hist((2, "s0", "s1")).continuous_from("s0")
+
+    def test_mismatched_chain_breaks_continuity(self):
+        assert not hist((1, "s0", "s1"), (2, "sX", "s2")).continuous_from("s0")
+
+    def test_final_state(self):
+        assert hist((1, "s0", "s1"), (2, "s1", "s2")).final_state("s0") == "s2"
+
+    def test_last_timestamp(self):
+        assert EMPTY_HISTORY.last_timestamp() == 0
+        assert hist((3, "a", "b")).last_timestamp() == 3
+
+    def test_bad_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            History({0: HistEntry("a", "b")})
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(TypeError):
+            History({1: "not-an-entry"})  # type: ignore[dict-item]
+
+    def test_iteration_sorted(self):
+        h = hist((2, "b", "c"), (1, "a", "b"))
+        assert list(h) == [1, 2]
+
+
+class TestProductPCM:
+    def test_componentwise_join(self):
+        pcm = ProductPCM(NatPCM(), NatPCM())
+        assert pcm.join((1, 2), (3, 4)) == (4, 6)
+
+    def test_invalid_component_propagates(self):
+        pcm = ProductPCM(MutexPCM(), NatPCM())
+        assert not pcm.valid(pcm.join((OWN, 0), (OWN, 0)))
+
+    def test_inject_project(self):
+        pcm = ProductPCM(MutexPCM(), NatPCM())
+        elem = pcm.inject(1, 7)
+        assert elem == (NOT_OWN, 7)
+        assert pcm.project(elem, 1) == 7
+
+    def test_arity_mismatch_invalid(self):
+        pcm = ProductPCM(NatPCM(), NatPCM())
+        assert not pcm.valid((1,))
+
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            ProductPCM()
+
+
+class TestLiftPCM:
+    def test_exclusive_never_joins(self):
+        pcm = exclusive_pcm()
+        assert not pcm.valid(pcm.join(pcm.up(1), pcm.up(2)))
+
+    def test_unit_joins(self):
+        pcm = exclusive_pcm()
+        assert pcm.join(LIFT_UNIT, pcm.up(5)) == pcm.up(5)
+
+    def test_semigroup_lift(self):
+        pcm = LiftPCM(op=lambda a, b: a + b, raw_sample=(1, 2))
+        assert pcm.join(pcm.up(1), pcm.up(2)) == pcm.up(3)
+
+    def test_down_projects(self):
+        pcm = exclusive_pcm()
+        assert pcm.down(pcm.up("v")) == "v"
+
+    def test_down_of_unit_raises(self):
+        with pytest.raises(ValueError):
+            exclusive_pcm().down(LIFT_UNIT)
+
+
+class TestLawChecker:
+    def test_broken_pcm_is_caught(self):
+        class BrokenPCM(NatPCM):
+            name = "broken"
+
+            def join(self, a, b):
+                if a == 1 and b == 2:
+                    return 99  # not commutative
+                return super().join(a, b)
+
+        violations = check_all_laws(BrokenPCM())
+        assert violations
+        assert any(v.law == "commutativity" for v in violations)
+
+    def test_invalid_unit_is_caught(self):
+        class NoUnitPCM(NatPCM):
+            name = "no-unit"
+
+            def valid(self, x):
+                return super().valid(x) and x != 0
+
+        assert any(v.law == "unit-valid" for v in check_all_laws(NoUnitPCM()))
+
+    def test_assert_raises_with_details(self):
+        class BadPCM(NatPCM):
+            name = "bad-assoc"
+
+            def join(self, a, b):
+                total = super().join(a, b)
+                if total == 4:
+                    return 5
+                return total
+
+        with pytest.raises(AssertionError):
+            assert_pcm_laws(BadPCM())

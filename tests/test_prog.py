@@ -1,0 +1,125 @@
+"""Unit tests for the program DSL combinators."""
+
+import pytest
+
+from repro.core import World
+from repro.core.prog import (
+    ActCall,
+    Bind,
+    Call,
+    Par,
+    Ret,
+    act,
+    bind,
+    cond,
+    ffix,
+    flatten_progs,
+    par,
+    prog_of_value,
+    ret,
+    seq,
+)
+from repro.semantics import initial_config, run_deterministic
+
+from .helpers import BumpAction, CounterConcurroid, ReadCounterAction, counter_state
+
+
+@pytest.fixture()
+def conc():
+    return CounterConcurroid(cap=20)
+
+
+@pytest.fixture()
+def world(conc):
+    return World((conc,))
+
+
+def run(world, conc, prog):
+    return run_deterministic(initial_config(world, counter_state(conc), prog))
+
+
+class TestConstructors:
+    def test_ret_default_none(self):
+        assert Ret().value is None
+
+    def test_bind_requires_program(self):
+        with pytest.raises(TypeError):
+            Bind("not a program", lambda v: ret(v))  # type: ignore[arg-type]
+
+    def test_call_expansion_must_yield_program(self):
+        c = Call(lambda: 42, (), label="bad")
+        with pytest.raises(TypeError):
+            c.expand()
+
+    def test_reprs(self):
+        assert "Ret" in repr(ret(1))
+        assert "Par" in repr(par(ret(1), ret(2)))
+        assert "Call" in repr(Call(lambda: ret(1), (), label="x"))
+
+
+class TestCombinators:
+    def test_seq_empty(self, world, conc):
+        assert run(world, conc, seq()).result is None
+
+    def test_seq_single(self, world, conc):
+        assert run(world, conc, seq(ret(7))).result == 7
+
+    def test_seq_discards_intermediates(self, world, conc):
+        assert run(world, conc, seq(ret(1), ret(2))).result == 2
+
+    def test_cond(self, world, conc):
+        assert run(world, conc, cond(True, ret("t"), ret("f"))).result == "t"
+        assert run(world, conc, cond(False, ret("t"), ret("f"))).result == "f"
+
+    def test_prog_of_value(self, world, conc):
+        prog = prog_of_value(lambda a, b: a * b, 6, 7)
+        assert run(world, conc, prog).result == 42
+
+    def test_flatten_progs_empty(self, world, conc):
+        assert run(world, conc, flatten_progs([])).result == ()
+
+    def test_flatten_progs_single(self, world, conc):
+        assert run(world, conc, flatten_progs([ret(1)])).result == (1,)
+
+    def test_flatten_progs_many(self, world, conc):
+        prog = flatten_progs([ret(1), ret(2), ret(3)])
+        assert run(world, conc, prog).result == (1, 2, 3)
+
+    def test_flatten_progs_runs_concurrently(self, world, conc):
+        from repro.heap import ptr
+
+        prog = flatten_progs([act(BumpAction(conc)) for __ in range(4)])
+        final = run(world, conc, prog)
+        assert final.joints[conc.label][ptr(7)] == 4
+
+
+class TestFfix:
+    def test_parameterized_recursion(self, world, conc):
+        loop = ffix(
+            lambda rec: lambda n, acc: ret(acc) if n == 0 else rec(n - 1, acc + n)
+        )
+        assert run(world, conc, loop(4, 0)).result == 10
+
+    def test_mutual_recursion_via_closures(self, world, conc):
+        def even_gen(rec):
+            def even(n):
+                return ret(True) if n == 0 else Call(lambda m: odd(m), (n - 1,))
+
+            def odd(n):
+                return ret(False) if n == 0 else even(n - 1)
+
+            return even
+
+        even = ffix(even_gen)
+        assert run(world, conc, even(6)).result is True
+        assert run(world, conc, even(5)).result is False
+
+    def test_recursion_with_actions(self, world, conc):
+        loop = ffix(
+            lambda rec: lambda n: ret(None)
+            if n == 0
+            else bind(act(BumpAction(conc)), lambda __: rec(n - 1))
+        )
+        final = run(world, conc, loop(5))
+        view = final.view_for(0)
+        assert view.self_of(conc.label) == 5

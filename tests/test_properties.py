@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) for the core algebraic substrates.
+
+The PCM laws, heap laws, graph lemmas and history invariants are the
+facts the whole framework leans on; here they are tested over randomly
+generated structures, far beyond the curated samples the verifier uses.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    GraphView,
+    connected,
+    front,
+    graph_heap,
+    is_tree,
+    max_tree2_holds,
+    maximal,
+    reachable,
+    subgraph,
+)
+from repro.graphs.lemmas import MarkedGraph
+from repro.heap import EMPTY, Heap, heap_of, pts, ptr
+from repro.pcm.histories import HistEntry, History, HistoryPCM
+from repro.pcm.mutex import MutexPCM
+from repro.pcm.natpcm import NatPCM
+from repro.pcm.product import ProductPCM
+from repro.pcm.setpcm import SetPCM
+
+# -- strategies ----------------------------------------------------------------------
+
+
+def small_heaps() -> st.SearchStrategy[Heap]:
+    return st.dictionaries(
+        st.integers(min_value=1, max_value=8).map(ptr),
+        st.integers(min_value=0, max_value=3),
+        max_size=5,
+    ).map(heap_of)
+
+
+def small_sets() -> st.SearchStrategy[frozenset]:
+    return st.frozensets(st.integers(min_value=0, max_value=6), max_size=4)
+
+
+def small_graphs(n: int = 5) -> st.SearchStrategy[GraphView]:
+    def build(seed: int) -> GraphView:
+        rng = random.Random(seed)
+        size = rng.randint(1, n)
+        adjacency = {
+            node: (rng.randint(0, size), rng.randint(0, size))
+            for node in range(1, size + 1)
+        }
+        marked = frozenset(
+            node for node in range(1, size + 1) if rng.random() < 0.3
+        )
+        return GraphView(graph_heap(adjacency, marked))
+
+    return st.integers(min_value=0, max_value=10_000).map(build)
+
+
+def histories() -> st.SearchStrategy[History]:
+    entry = st.tuples(st.integers(0, 3), st.integers(0, 3)).map(
+        lambda p: HistEntry(p[0], p[1])
+    )
+    return st.dictionaries(st.integers(min_value=1, max_value=9), entry, max_size=5).map(
+        History
+    )
+
+
+# -- heap laws --------------------------------------------------------------------------
+
+
+class TestHeapProperties:
+    @given(small_heaps(), small_heaps())
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(small_heaps(), small_heaps(), small_heaps())
+    def test_join_associative(self, a, b, c):
+        assert a.join(b.join(c)) == a.join(b).join(c)
+
+    @given(small_heaps())
+    def test_unit(self, h):
+        assert h.join(EMPTY) == h
+
+    @given(small_heaps(), small_heaps())
+    def test_valid_join_implies_disjoint(self, a, b):
+        if a.join(b).is_valid:
+            assert not (a.dom() & b.dom())
+
+    @given(small_heaps())
+    def test_restrict_remove_partition(self, h):
+        some = frozenset(list(h.dom())[: len(h) // 2])
+        assert h.restrict(some).join(h.remove_all(some)) == h
+
+    @given(small_heaps())
+    def test_free_shrinks_domain(self, h):
+        for p in h.dom():
+            assert h.free(p).dom() == h.dom() - {p}
+
+    @given(small_heaps())
+    def test_alloc_fresh_and_disjoint(self, h):
+        p, h2 = h.alloc("v")
+        assert p not in h
+        assert h2.free(p) == h
+
+
+# -- PCM laws over random elements ----------------------------------------------------------
+
+
+class TestPCMProperties:
+    @given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 50))
+    def test_nat_assoc_comm(self, a, b, c):
+        pcm = NatPCM()
+        assert pcm.join(a, b) == pcm.join(b, a)
+        assert pcm.join(a, pcm.join(b, c)) == pcm.join(pcm.join(a, b), c)
+
+    @given(small_sets(), small_sets())
+    def test_set_join_valid_iff_disjoint(self, a, b):
+        pcm = SetPCM()
+        assert pcm.valid(pcm.join(a, b)) == (not (a & b))
+
+    @given(small_sets())
+    def test_set_splits_recombine(self, x):
+        pcm = SetPCM()
+        for left, right in pcm.splits(x):
+            assert pcm.join(left, right) == x
+
+    @given(st.integers(0, 12))
+    def test_nat_splits_recombine(self, x):
+        pcm = NatPCM()
+        assert all(a + b == x for a, b in pcm.splits(x))
+        assert len(list(pcm.splits(x))) == x + 1
+
+    @given(histories(), histories())
+    def test_history_join_commutative(self, a, b):
+        pcm = HistoryPCM()
+        assert pcm.join(a, b) == pcm.join(b, a)
+
+    @given(histories())
+    def test_history_splits_recombine(self, h):
+        pcm = HistoryPCM()
+        for left, right in pcm.splits(h):
+            assert pcm.join(left, right) == h
+
+    @given(st.sampled_from(list(MutexPCM().sample())), st.integers(0, 5))
+    def test_product_validity_componentwise(self, m, n):
+        pcm = ProductPCM(MutexPCM(), NatPCM())
+        assert pcm.valid((m, n))
+
+
+# -- graph lemmas over random graphs -----------------------------------------------------------
+
+
+class TestGraphProperties:
+    @settings(max_examples=60)
+    @given(small_graphs())
+    def test_reachable_closed_under_edges(self, g):
+        for root in g.nodes():
+            reach = reachable(g, root)
+            for x in reach:
+                for y in g.successors(x):
+                    if y and y in g:
+                        assert y in reach
+
+    @settings(max_examples=60)
+    @given(small_graphs())
+    def test_whole_node_set_is_maximal(self, g):
+        assert maximal(g, g.nodes())
+
+    @settings(max_examples=60)
+    @given(small_graphs())
+    def test_front_monotone_in_target(self, g):
+        nodes = sorted(g.nodes())
+        if not nodes:
+            return
+        t = frozenset(nodes[:1])
+        if front(g, t, frozenset(nodes[:2])):
+            assert front(g, t, g.nodes())
+
+    @settings(max_examples=60)
+    @given(small_graphs())
+    def test_singleton_tree_iff_no_self_loop(self, g):
+        for x in g.nodes():
+            expected = x not in g.successors(x)
+            assert is_tree(g, x, frozenset((x,))) == expected
+
+    @settings(max_examples=40)
+    @given(small_graphs(4))
+    def test_max_tree2_universal(self, g):
+        from itertools import combinations
+
+        nodes = sorted(g.nodes())
+        subsets = [frozenset(c) for r in range(3) for c in combinations(nodes, r)]
+        for x in nodes:
+            y1, y2 = g.successors(x)
+            for t1 in subsets[:6]:
+                for t2 in subsets[:6]:
+                    assert max_tree2_holds(g, x, y1, y2, t1, t2)
+
+    @settings(max_examples=60)
+    @given(small_graphs())
+    def test_marking_step_preserves_subgraph(self, g):
+        marked = g.marked_nodes()
+        s1 = MarkedGraph(g, frozenset(), marked)
+        for x in sorted(g.unmarked_nodes()):
+            g2 = GraphView(g.mark_node(x))
+            s2 = MarkedGraph(g2, frozenset((x,)), marked)
+            assert subgraph(s1, s2)
+
+    @settings(max_examples=60)
+    @given(small_graphs())
+    def test_connected_downward_closed_under_reachability(self, g):
+        for root in sorted(g.nodes())[:2]:
+            reach = reachable(g, root)
+            assert connected(g, root, reach)
+
+
+# -- history invariants ---------------------------------------------------------------------------
+
+
+class TestHistoryProperties:
+    @given(histories())
+    def test_continuity_implies_dense_timestamps(self, h):
+        if h.continuous_from(0):
+            assert sorted(h.timestamps()) == list(range(1, len(h) + 1))
+
+    @given(st.lists(st.integers(0, 3), max_size=5))
+    def test_replay_chain_is_continuous(self, values):
+        entries = {}
+        state = 0
+        for i, v in enumerate(values, start=1):
+            entries[i] = HistEntry(state, v)
+            state = v
+        h = History(entries)
+        assert h.continuous_from(0)
+        assert h.final_state(0) == state

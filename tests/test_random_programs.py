@@ -1,0 +1,110 @@
+"""Randomized interpreter soundness: hypothesis-generated program trees.
+
+For arbitrary compositions of `seq`/`par`/`bump`/`read` over the counter
+protocol, the interpreter must satisfy the *subjective accounting
+theorem*: at every terminal configuration, the root thread's ``self``
+contribution equals its initial contribution plus the number of bump
+actions in the program — regardless of the fork structure or the
+schedule.  Exploration with and without memoization must agree on the
+terminal outcomes, and coherence must hold throughout (the explorer
+checks it at every step).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import World
+from repro.core.prog import Prog, act, bind, par, ret, seq
+from repro.semantics import explore, initial_config
+
+from .helpers import BumpAction, CELL, CounterConcurroid, ReadCounterAction, counter_state
+
+
+class ProgSpec:
+    """A generated program shape: we track its bump count alongside."""
+
+    def __init__(self, build, bumps: int, size: int):
+        self.build = build  # (bump_action, read_action) -> Prog
+        self.bumps = bumps
+        self.size = size
+
+
+def leaf_bump() -> ProgSpec:
+    return ProgSpec(lambda b, r: act(b), 1, 1)
+
+
+def leaf_read() -> ProgSpec:
+    return ProgSpec(lambda b, r: act(r), 0, 1)
+
+
+def leaf_ret() -> ProgSpec:
+    return ProgSpec(lambda b, r: ret(0), 0, 1)
+
+
+def node_seq(left: ProgSpec, right: ProgSpec) -> ProgSpec:
+    return ProgSpec(
+        lambda b, r: seq(left.build(b, r), right.build(b, r)),
+        left.bumps + right.bumps,
+        left.size + right.size,
+    )
+
+
+def node_par(left: ProgSpec, right: ProgSpec) -> ProgSpec:
+    return ProgSpec(
+        lambda b, r: par(left.build(b, r), right.build(b, r)),
+        left.bumps + right.bumps,
+        left.size + right.size,
+    )
+
+
+prog_specs = st.recursive(
+    st.sampled_from([leaf_bump(), leaf_read(), leaf_ret()]),
+    lambda children: st.builds(node_seq, children, children)
+    | st.builds(node_par, children, children),
+    max_leaves=5,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(prog_specs, st.integers(0, 2), st.integers(0, 2))
+def test_subjective_accounting(spec: ProgSpec, self0: int, other0: int):
+    conc = CounterConcurroid(cap=self0 + other0 + spec.bumps + 1)
+    world = World((conc,))
+    bump, read = BumpAction(conc), ReadCounterAction(conc)
+    init = counter_state(conc, self0, other0)
+    result = explore(
+        initial_config(world, init, spec.build(bump, read)),
+        max_steps=4 * spec.size + 4,
+        max_configs=200_000,
+    )
+    assert result.ok, [str(v) for v in result.violations][:2]
+    assert result.terminals, "loop-free program must terminate"
+    for terminal in result.terminals:
+        view = terminal.view_for(0)
+        # The accounting theorem: my contribution grew by exactly my bumps.
+        assert view.self_of("ct") == self0 + spec.bumps
+        # The environment's share is untouched (no env budget given).
+        assert view.other_of("ct") == other0
+        # And the physical cell agrees with the PCM total.
+        assert view.joint_of("ct")[CELL] == self0 + other0 + spec.bumps
+
+
+@settings(max_examples=15, deadline=None)
+@given(prog_specs)
+def test_dedupe_agreement(spec: ProgSpec):
+    conc = CounterConcurroid(cap=spec.bumps + 1)
+    world = World((conc,))
+    bump, read = BumpAction(conc), ReadCounterAction(conc)
+    outcomes = {}
+    for dedupe in (True, False):
+        result = explore(
+            initial_config(world, counter_state(conc), spec.build(bump, read)),
+            max_steps=4 * spec.size + 4,
+            max_configs=200_000,
+            dedupe=dedupe,
+        )
+        assert result.ok
+        outcomes[dedupe] = {t.shared_signature() for t in result.terminals}
+    assert outcomes[True] == outcomes[False]

@@ -1,0 +1,17 @@
+"""End-to-end test of the full evaluation run (slow)."""
+
+import pytest
+
+
+@pytest.mark.slow
+def test_full_evaluation_reproduces_everything():
+    from repro.eval.report import run_evaluation
+
+    report = run_evaluation()
+    assert report.ok, report.issues
+    text = report.render()
+    assert "ALL ARTIFACTS REPRODUCED" in text
+    assert "Flat combiner" in report.table1_text
+    assert "matches paper Table 2 exactly" in report.table2_text
+    assert "matches paper Figure 5 exactly" in report.figure5_text
+    assert "stage 1:" in report.figure2_text

@@ -1,0 +1,265 @@
+"""Tests for the concurrent spanning-tree construction."""
+
+import random
+
+import pytest
+
+from repro.core import World
+from repro.core.entangle import Priv
+from repro.core.errors import CrashError
+from repro.core.spec import Scenario
+from repro.core.verify import check_triple, triple_issues
+from repro.graphs import GraphView, figure2_graph, graph_heap, is_tree, random_connected_graph
+from repro.heap import NULL, ptr
+from repro.semantics import do_action, explore, initial_config, run_deterministic, run_random
+from repro.structures.spanning_tree import (
+    PRIV_LABEL,
+    SpanActions,
+    SpanTreeConcurroid,
+    closed_world_state,
+    make_span,
+    make_span_root,
+    open_world_state,
+    span_root_spec,
+    span_spec,
+)
+from repro.structures.spanning_tree_verify import make_world, root_world, verify_spanning_tree
+
+
+@pytest.fixture()
+def conc():
+    return SpanTreeConcurroid()
+
+
+@pytest.fixture()
+def actions(conc):
+    return SpanActions(conc)
+
+
+class TestActions:
+    def test_trymark_success(self, conc, actions):
+        s = open_world_state(conc, graph_heap({1: (0, 0)}))
+        value, s2 = actions.trymark.step(s, ptr(1))
+        assert value is True
+        assert ptr(1) in s2.self_of(conc.label)
+        assert conc.graph(s2).mark(ptr(1))
+
+    def test_trymark_fails_on_marked(self, conc, actions):
+        s = open_world_state(
+            conc, graph_heap({1: (0, 0)}, marked=frozenset({1})), other_marked=frozenset({ptr(1)})
+        )
+        value, s2 = actions.trymark.step(s, ptr(1))
+        assert value is False
+        assert s2 == s
+
+    def test_read_child_requires_self_mark(self, conc, actions):
+        from repro.graphs import LEFT
+
+        s = open_world_state(conc, graph_heap({1: (0, 0)}))
+        assert not actions.read_child.safe(s, ptr(1), LEFT)
+
+    def test_nullify_requires_self_mark(self, conc, actions):
+        from repro.graphs import LEFT
+
+        h = graph_heap({1: (2, 0), 2: (0, 0)}, marked=frozenset({1}))
+        mine = open_world_state(conc, h, self_marked=frozenset({ptr(1)}))
+        theirs = open_world_state(conc, h, other_marked=frozenset({ptr(1)}))
+        assert actions.nullify.safe(mine, ptr(1), LEFT)
+        assert not actions.nullify.safe(theirs, ptr(1), LEFT)
+
+    def test_nullify_by_non_marker_crashes(self, conc, actions):
+        from repro.core.prog import act
+        from repro.graphs import LEFT
+
+        h = graph_heap({1: (2, 0), 2: (0, 0)}, marked=frozenset({1}))
+        init = open_world_state(conc, h, other_marked=frozenset({ptr(1)}))
+        cfg = initial_config(make_world(conc), init, act(actions.nullify, ptr(1), LEFT))
+        with pytest.raises(CrashError):
+            do_action(cfg, 0)
+
+
+class TestSpanClosedWorld:
+    def test_figure2_graph_deterministic(self):
+        prog = make_span_root(SpanActions(SpanTreeConcurroid()), ptr(1))
+        init = closed_world_state(figure2_graph())
+        final = run_deterministic(initial_config(root_world(), init, prog))
+        assert final.result is True
+        spec = span_root_spec(ptr(1))
+        assert spec.check_post(final.result, final.view_for(0), init)
+
+    def test_single_node(self):
+        prog = make_span_root(SpanActions(SpanTreeConcurroid()), ptr(1))
+        init = closed_world_state(graph_heap({1: (0, 0)}))
+        final = run_deterministic(initial_config(root_world(), init, prog))
+        assert final.result is True
+
+    def test_self_loop_collapses_to_singleton(self):
+        prog = make_span_root(SpanActions(SpanTreeConcurroid()), ptr(1))
+        init = closed_world_state(graph_heap({1: (1, 1)}))
+        final = run_deterministic(initial_config(root_world(), init, prog))
+        g = GraphView(final.view_for(0).self_of(PRIV_LABEL))
+        assert g.edgl(ptr(1)) == NULL and g.edgr(ptr(1)) == NULL
+
+    def test_all_interleavings_two_node_cycle(self):
+        h = graph_heap({1: (2, 0), 2: (1, 0)})
+        spec = span_root_spec(ptr(1))
+        init = closed_world_state(h)
+        prog = make_span_root(SpanActions(SpanTreeConcurroid()), ptr(1))
+        result = explore(initial_config(root_world(), init, prog), max_steps=80)
+        assert result.ok
+        assert result.terminals
+        for terminal in result.terminals:
+            assert spec.check_post(terminal.result, terminal.view_for(0), init)
+
+    def test_random_graphs_random_schedules(self):
+        rng = random.Random(5)
+        for __ in range(10):
+            h, root = random_connected_graph(7, rng)
+            init = closed_world_state(h)
+            spec = span_root_spec(ptr(root))
+            prog = make_span_root(SpanActions(SpanTreeConcurroid()), ptr(root))
+            final, violations = run_random(
+                initial_config(root_world(), init, prog), rng
+            )
+            assert not violations
+            assert final is not None
+            assert spec.check_post(final.result, final.view_for(0), init)
+
+    def test_result_is_tree_rooted_at_x(self):
+        prog = make_span_root(SpanActions(SpanTreeConcurroid()), ptr(1))
+        init = closed_world_state(figure2_graph())
+        final = run_deterministic(initial_config(root_world(), init, prog))
+        g = GraphView(final.view_for(0).self_of(PRIV_LABEL))
+        assert is_tree(g, ptr(1), g.nodes())
+
+
+class TestSpanOpenWorld:
+    def test_span_on_marked_root_returns_false(self, conc, actions):
+        span = make_span(actions)
+        h = graph_heap({1: (0, 0)}, marked=frozenset({1}))
+        init = open_world_state(conc, h, other_marked=frozenset({ptr(1)}))
+        spec = span_spec(conc, ptr(1))
+        outcomes = check_triple(
+            make_world(conc), spec, [Scenario(init, span(ptr(1)))], env_budget=1
+        )
+        assert not triple_issues(outcomes)
+
+    def test_span_null(self, conc, actions):
+        span = make_span(actions)
+        init = open_world_state(conc, graph_heap({1: (0, 0)}))
+        final = run_deterministic(initial_config(make_world(conc), init, span(NULL)))
+        assert final.result is False
+
+    def test_span_under_interference(self, conc, actions):
+        # The environment may mark nodes at any moment; span_tp still holds.
+        span = make_span(actions)
+        h = graph_heap({1: (2, 0), 2: (0, 0)})
+        init = open_world_state(conc, h)
+        spec = span_spec(conc, ptr(1))
+        outcomes = check_triple(
+            make_world(conc), spec, [Scenario(init, span(ptr(1)))],
+            max_steps=40, env_budget=2,
+        )
+        assert not triple_issues(outcomes)
+        assert outcomes[0].terminals > 1  # interference produced variety
+
+
+class TestSpanVerification:
+    @pytest.mark.slow
+    def test_full_verification(self):
+        report = verify_spanning_tree(open_samples=60, root_extra_graphs=8)
+        assert report.ok, report.pretty()
+
+    def test_broken_span_detected(self, conc, actions):
+        # Failure injection: a span that never prunes redundant edges
+        # violates the maximality conjunct of span_tp.
+        from repro.core.prog import act, bind, par as par_, ret, seq, ffix
+
+        def gen(loop):
+            def body(x):
+                if x == NULL:
+                    return ret(False)
+                return bind(act(actions.trymark, x), lambda b: _branch(b, x))
+
+            def _branch(b, x):
+                from repro.graphs import LEFT, RIGHT
+
+                if not b:
+                    return ret(False)
+                return bind(
+                    act(actions.read_child, x, LEFT),
+                    lambda xl: bind(
+                        act(actions.read_child, x, RIGHT),
+                        lambda xr: seq(par_(loop(xl), loop(xr)), ret(True)),
+                    ),
+                )
+
+            return body
+
+        broken_span = ffix(gen)
+        # Graph 1 -> (2, 2): the duplicate edge to 2 must be pruned; the
+        # broken span keeps both, so {1,2} is not a tree.
+        h = graph_heap({1: (2, 2), 2: (0, 0)})
+        init = open_world_state(conc, h)
+        spec = span_spec(conc, ptr(1))
+        outcomes = check_triple(
+            make_world(conc), spec, [Scenario(init, broken_span(ptr(1)))]
+        )
+        assert triple_issues(outcomes), "broken span must fail span_tp"
+
+
+class TestTwoInstances:
+    def test_two_span_instances_in_parallel(self):
+        # §3.3: "say we want to run two span procedures in parallel on
+        # disjoint heaps.  Such a program could be specified by a Cartesian
+        # product of SpanTree sp1 and SpanTree sp2" — labels distinguish
+        # the instances.
+        from repro.core.prog import par as par_
+
+        conc1 = SpanTreeConcurroid(label="sp1")
+        conc2 = SpanTreeConcurroid(label="sp2")
+        a1, a2 = SpanActions(conc1), SpanActions(conc2)
+        h1 = graph_heap({1: (2, 0), 2: (1, 0)})
+        h2 = graph_heap({1: (1, 2), 2: (0, 0)})
+        world = World((Priv(PRIV_LABEL), conc1, conc2))
+        from repro.core.state import SubjState, state_of
+        from repro.heap import EMPTY
+
+        init = state_of(
+            sp1=conc1.initial(h1),
+            sp2=conc2.initial(h2),
+            pv=SubjState(EMPTY, EMPTY, EMPTY),
+        )
+        prog = par_(make_span(a1)(ptr(1)), make_span(a2)(ptr(1)))
+        result = explore(initial_config(world, init, prog), max_steps=80)
+        assert result.ok
+        assert result.terminals
+        spec1, spec2 = span_spec(conc1, ptr(1)), span_spec(conc2, ptr(1))
+        for terminal in result.terminals:
+            view = terminal.view_for(0)
+            assert terminal.result == (True, True)
+            assert spec1.check_post(True, view, init)
+            assert spec2.check_post(True, view, init)
+
+    def test_instances_do_not_interfere(self):
+        # Marking in sp1 never shows up in sp2's components.
+        conc1 = SpanTreeConcurroid(label="sp1")
+        conc2 = SpanTreeConcurroid(label="sp2")
+        a1 = SpanActions(conc1)
+        h = graph_heap({1: (0, 0)})
+        from repro.core.state import SubjState, state_of
+        from repro.heap import EMPTY
+
+        init = state_of(
+            sp1=conc1.initial(h),
+            sp2=conc2.initial(h),
+            pv=SubjState(EMPTY, EMPTY, EMPTY),
+        )
+        world = World((Priv(PRIV_LABEL), conc1, conc2))
+        final = run_deterministic(
+            initial_config(world, init, make_span(a1)(ptr(1)))
+        )
+        view = final.view_for(0)
+        assert view.self_of("sp1") == frozenset((ptr(1),))
+        assert view.self_of("sp2") == frozenset()
+        assert not GraphView(view.joint_of("sp2")).marked_nodes()

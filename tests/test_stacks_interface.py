@@ -1,0 +1,130 @@
+"""Tests for the abstract stack interface — the exercise §6 left open.
+
+One generic client, two engines: every test in this module is
+parametrized over both stack implementations and must pass unchanged.
+"""
+
+import random
+
+import pytest
+
+from repro.core.spec import Scenario
+from repro.core.verify import check_triple, triple_issues
+from repro.semantics import explore, initial_config, run_deterministic, run_random
+from repro.structures.stacks import (
+    AbstractStack,
+    FCAsStack,
+    TreiberAsStack,
+    generic_consumer,
+    generic_prod_cons,
+    generic_prod_cons_spec,
+    generic_producer,
+    verify_stack_interface,
+)
+
+
+@pytest.fixture(params=["treiber", "fc"])
+def stack(request) -> AbstractStack:
+    if request.param == "treiber":
+        return TreiberAsStack(max_ops=5, pool=(101, 102))
+    return FCAsStack(max_ops=5)
+
+
+class TestInterfaceContract:
+    def test_push_then_pop_roundtrip(self, stack):
+        from repro.core.prog import bind, seq
+
+        ctx = stack.contexts()[0]
+        prog = seq(stack.push(ctx, 42), stack.pop(ctx))
+        final = run_deterministic(
+            initial_config(stack.world(), stack.initial_state(), prog)
+        )
+        assert final.result == 42
+
+    def test_pop_empty_is_none_and_receipt_free(self, stack):
+        ctx = stack.contexts()[0]
+        final = run_deterministic(
+            initial_config(stack.world(), stack.initial_state(), stack.pop(ctx))
+        )
+        assert final.result is None
+        assert stack.contrib_of(final.view_for(0)).is_empty
+
+    def test_push_spec(self, stack):
+        ctx = stack.contexts()[0]
+        outcomes = check_triple(
+            stack.world(),
+            stack.push_spec(1),
+            [Scenario(stack.initial_state(), stack.push(ctx, 1))],
+            max_steps=60,
+            env_budget=1,
+        )
+        assert not triple_issues(outcomes)
+
+    def test_pop_spec(self, stack):
+        ctx = stack.contexts()[0]
+        outcomes = check_triple(
+            stack.world(),
+            stack.pop_spec(),
+            [Scenario(stack.initial_state(), stack.pop(ctx))],
+            max_steps=60,
+            env_budget=1,
+        )
+        assert not triple_issues(outcomes)
+
+
+class TestGenericClient:
+    def test_prod_cons_single_item_exhaustive(self, stack):
+        spec = generic_prod_cons_spec(stack, (1,))
+        init = stack.initial_state()
+        result = explore(
+            initial_config(stack.world(), init, generic_prod_cons(stack, (1,))),
+            max_steps=200,
+            max_configs=400_000,
+        )
+        assert result.ok
+        assert result.terminals
+        for terminal in result.terminals:
+            assert spec.check_post(terminal.result, terminal.view_for(0), init)
+
+    def test_prod_cons_two_items_random(self, stack):
+        rng = random.Random(17)
+        spec = generic_prod_cons_spec(stack, (0, 1))
+        init = stack.initial_state()
+        for __ in range(5):
+            final, violations = run_random(
+                initial_config(stack.world(), init, generic_prod_cons(stack, (0, 1))),
+                rng,
+                max_steps=3000,
+            )
+            assert not violations and final is not None
+            assert spec.check_post(final.result, final.view_for(0), init)
+
+    def test_verification_entry_point(self, stack):
+        report = verify_stack_interface(stack)
+        assert report.ok, report.pretty()
+        # Pure interface-level reasoning: no new protocol obligations.
+        counts = report.counts_by_category()
+        assert counts["Conc"] == counts["Acts"] == counts["Stab"] == 0
+
+
+class TestUnification:
+    def test_same_client_same_spec_both_engines(self):
+        # The exact point of the exercise: ONE client + ONE spec text,
+        # two engines.
+        results = {}
+        for name, impl in (
+            ("treiber", TreiberAsStack(max_ops=5, pool=(101,))),
+            ("fc", FCAsStack(max_ops=5)),
+        ):
+            ctx_p, ctx_c = impl.contexts()[:2]
+            from repro.core.prog import par
+
+            prog = par(
+                generic_producer(impl, ctx_p, (7,)),
+                generic_consumer(impl, ctx_c, 1),
+            )
+            final = run_deterministic(
+                initial_config(impl.world(), impl.initial_state(), prog)
+            )
+            results[name] = final.result[1]
+        assert results["treiber"] == results["fc"] == (7,)

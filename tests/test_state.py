@@ -1,0 +1,101 @@
+"""Unit tests for subjective states and the label getters."""
+
+import pytest
+
+from repro.core.state import State, SubjState, state_of, subj
+from repro.heap import EMPTY, pts, ptr
+
+
+class TestSubjState:
+    def test_transpose_swaps_self_other(self):
+        s = subj(1, "j", 2)
+        assert s.transpose() == subj(2, "j", 1)
+
+    def test_transpose_involutive(self):
+        s = subj(frozenset("a"), EMPTY, frozenset("b"))
+        assert s.transpose().transpose() == s
+
+    def test_with_updates(self):
+        s = subj(1, 2, 3)
+        assert s.with_self(9) == subj(9, 2, 3)
+        assert s.with_joint(9) == subj(1, 9, 3)
+        assert s.with_other(9) == subj(1, 2, 9)
+
+    def test_repr(self):
+        assert repr(subj(1, 2, 3)) == "[1 | 2 | 3]"
+
+
+class TestState:
+    def test_getters(self):
+        s = state_of(a=subj(1, 2, 3))
+        assert s.self_of("a") == 1
+        assert s.joint_of("a") == 2
+        assert s.other_of("a") == 3
+
+    def test_missing_label_raises(self):
+        with pytest.raises(KeyError):
+            state_of(a=subj(1, 2, 3))["b"]
+
+    def test_labels(self):
+        s = state_of(a=subj(1, 2, 3), b=subj(4, 5, 6))
+        assert s.labels() == {"a", "b"}
+
+    def test_set_is_functional(self):
+        s1 = state_of(a=subj(1, 2, 3))
+        s2 = s1.set("a", subj(9, 2, 3))
+        assert s1.self_of("a") == 1
+        assert s2.self_of("a") == 9
+
+    def test_update(self):
+        s = state_of(a=subj(1, 2, 3)).update("a", lambda c: c.with_joint(0))
+        assert s.joint_of("a") == 0
+
+    def test_remove(self):
+        s = state_of(a=subj(1, 2, 3), b=subj(4, 5, 6)).remove("a")
+        assert s.labels() == {"b"}
+
+    def test_restrict(self):
+        s = state_of(a=subj(1, 2, 3), b=subj(4, 5, 6)).restrict({"a"})
+        assert s.labels() == {"a"}
+
+    def test_merge_disjoint(self):
+        s = state_of(a=subj(1, 2, 3)).merge(state_of(b=subj(4, 5, 6)))
+        assert s.labels() == {"a", "b"}
+
+    def test_merge_conflict_raises(self):
+        with pytest.raises(ValueError):
+            state_of(a=subj(1, 2, 3)).merge(state_of(a=subj(9, 9, 9)))
+
+    def test_merge_agreeing_ok(self):
+        s = state_of(a=subj(1, 2, 3)).merge(state_of(a=subj(1, 2, 3)))
+        assert s.labels() == {"a"}
+
+    def test_transpose_whole_state(self):
+        s = state_of(a=subj(1, 2, 3), b=subj(4, 5, 6)).transpose()
+        assert s.self_of("a") == 3
+        assert s.other_of("b") == 4
+
+    def test_hashable_and_eq(self):
+        s1 = state_of(a=subj(1, EMPTY, 3))
+        s2 = state_of(a=subj(1, EMPTY, 3))
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+        assert len({s1, s2}) == 1
+
+    def test_heap_components(self):
+        h = pts(ptr(1), 10)
+        s = state_of(pv=subj(h, EMPTY, EMPTY))
+        assert s.self_of("pv")[ptr(1)] == 10
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(TypeError):
+            State({1: subj(1, 2, 3)})  # type: ignore[dict-item]
+
+    def test_non_subjstate_rejected(self):
+        with pytest.raises(TypeError):
+            State({"a": (1, 2, 3)})  # type: ignore[dict-item]
+
+    def test_contains(self):
+        s = state_of(a=subj(1, 2, 3))
+        assert "a" in s
+        assert "z" not in s

@@ -1,0 +1,58 @@
+"""Unit tests for traces and events."""
+
+from repro.core import World
+from repro.core.prog import act, par, ret, seq
+from repro.semantics import initial_config, run_deterministic
+from repro.semantics.trace import Event, Trace
+
+from .helpers import BumpAction, CounterConcurroid, counter_state
+
+
+class TestEvent:
+    def test_act_str(self):
+        e = Event("act", 3, "ct.bump", (1,), True)
+        assert str(e) == "t3: ct.bump(1) = True"
+
+    def test_env_str(self):
+        assert str(Event("env", -1, "ct.bump(None)")) == "env: ct.bump(None)"
+
+    def test_other_kinds(self):
+        assert "fork" in str(Event("fork", 0, "-> t1, t2"))
+
+
+class TestTrace:
+    def test_append_is_persistent(self):
+        t0 = Trace()
+        t1 = t0.append(Event("act", 0, "x"))
+        assert len(t0) == 0
+        assert len(t1) == 1
+
+    def test_actions_filter(self):
+        t = Trace().append(Event("fork", 0, "")).append(Event("act", 0, "a"))
+        assert len(t.actions()) == 1
+
+    def test_pretty(self):
+        t = Trace().append(Event("act", 0, "ct.bump", (), 0))
+        assert "ct.bump" in t.pretty()
+
+
+class TestRecordedTraces:
+    def test_full_program_trace_structure(self):
+        conc = CounterConcurroid(cap=10)
+        world = World((conc,))
+        prog = par(act(BumpAction(conc)), seq(act(BumpAction(conc)), ret("x")))
+        final = run_deterministic(initial_config(world, counter_state(conc), prog))
+        kinds = [e.kind for e in final.trace]
+        assert kinds.count("fork") == 1
+        assert kinds.count("join") == 1
+        assert kinds.count("act") == 2
+        assert kinds[-1] == "done"
+
+    def test_trace_disabled(self):
+        conc = CounterConcurroid(cap=10)
+        world = World((conc,))
+        config = initial_config(
+            world, counter_state(conc), act(BumpAction(conc)), record_trace=False
+        )
+        final = run_deterministic(config)
+        assert final.trace is None

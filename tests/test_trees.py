@@ -1,0 +1,172 @@
+"""Adequacy of the action-tree denotational semantics (§5.1).
+
+The tree evaluator is an independent implementation of the concurrency
+semantics; these tests check it agrees with the operational interpreter
+on every schedule — including hypothesis-generated random programs.
+"""
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.core import World
+from repro.core.prog import act, bind, ffix, par, ret, seq
+from repro.semantics import explore, initial_config
+from repro.semantics.trees import (
+    TAct,
+    TPar,
+    TRet,
+    UNFINISHED,
+    Unfinished,
+    denote,
+    graft,
+    tree_outcomes,
+)
+
+from .helpers import BumpAction, CounterConcurroid, ReadCounterAction, counter_state
+from .test_random_programs import prog_specs
+
+
+@pytest.fixture()
+def conc():
+    return CounterConcurroid(cap=12)
+
+
+@pytest.fixture()
+def world(conc):
+    return World((conc,))
+
+
+class TestDenotation:
+    def test_ret(self):
+        tree = denote(ret(5))
+        assert isinstance(tree, TRet) and tree.value == 5
+
+    def test_bind_grafts(self, conc):
+        tree = denote(bind(act(BumpAction(conc)), lambda v: ret(v + 1)))
+        assert isinstance(tree, TAct)
+        inner = tree.kont(7)
+        assert isinstance(inner, TRet) and inner.value == 8
+
+    def test_par_node(self, conc):
+        tree = denote(par(ret(1), ret(2)))
+        assert isinstance(tree, TPar)
+        assert tree.kont((1, 2)).value == (1, 2)
+
+    def test_depth_cut(self, conc):
+        action = ReadCounterAction(conc)
+        spin = ffix(lambda loop: lambda: bind(act(action), lambda __: loop()))
+        tree = denote(spin(), depth=3)
+        # Follow the spine: after three unfoldings we must hit the cut.
+        cursor = tree
+        depth = 0
+        while isinstance(cursor, TAct):
+            cursor = cursor.kont(0)
+            depth += 1
+        assert isinstance(cursor, Unfinished)
+        assert depth == 3
+
+    def test_graft_on_unfinished_stays_cut(self):
+        assert graft(UNFINISHED, lambda v: ret(v)) is UNFINISHED
+
+    def test_loop_free_program_denotes_totally(self, conc):
+        prog = seq(act(BumpAction(conc)), act(BumpAction(conc)), ret("end"))
+        tree = denote(prog, depth=1)
+        cursor = tree
+        while isinstance(cursor, TAct):
+            cursor = cursor.kont(None)
+        assert isinstance(cursor, TRet) and cursor.value == "end"
+
+
+def _interp_outcomes(world, init, prog):
+    result = explore(initial_config(world, init, prog), max_steps=200)
+    assert result.ok, [str(v) for v in result.violations][:2]
+    out = set()
+    for t in result.terminals:
+        out.add(
+            (
+                t.result,
+                tuple(sorted(t.joints.items())),
+                tuple(sorted(t.env_selfs.items())),
+                tuple(sorted(t.threads[0].selfs.items())),
+            )
+        )
+    return out
+
+
+def _tree_outcomes_full(world, init, tree):
+    from repro.semantics.trees import _TreeMachine
+
+    start = _TreeMachine(world, init, tree)
+    start._settle()
+    out = set()
+    stack = [start]
+    while stack:
+        m = stack.pop()
+        assert not m.cut
+        if m.done:
+            out.add(
+                (
+                    m.result,
+                    tuple(sorted(m.joints.items())),
+                    tuple(sorted(m.env.items())),
+                    tuple(sorted(m.threads[0].selfs.items())),
+                )
+            )
+            continue
+        for tid in m.runnable():
+            stack.append(m.step(tid))
+    return out
+
+
+class TestAdequacy:
+    def test_parallel_bumps(self, world, conc):
+        prog_factory = lambda: par(act(BumpAction(conc)), act(BumpAction(conc)))
+        init = counter_state(conc)
+        assert _interp_outcomes(world, init, prog_factory()) == _tree_outcomes_full(
+            world, init, denote(prog_factory())
+        )
+
+    def test_racing_read(self, world, conc):
+        read = ReadCounterAction(conc)
+        bump = BumpAction(conc)
+        prog_factory = lambda: par(act(bump), bind(act(read), lambda v: ret(v * 10)))
+        init = counter_state(conc, 1, 1)
+        assert _interp_outcomes(world, init, prog_factory()) == _tree_outcomes_full(
+            world, init, denote(prog_factory())
+        )
+
+    def test_nested_par(self, world, conc):
+        bump = BumpAction(conc)
+        prog_factory = lambda: par(par(act(bump), act(bump)), act(bump))
+        init = counter_state(conc)
+        assert _interp_outcomes(world, init, prog_factory()) == _tree_outcomes_full(
+            world, init, denote(prog_factory())
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(prog_specs)
+    def test_random_programs_agree(self, spec):
+        conc = CounterConcurroid(cap=spec.bumps + 2)
+        world = World((conc,))
+        bump, read = BumpAction(conc), ReadCounterAction(conc)
+        init = counter_state(conc)
+        interp = _interp_outcomes(world, init, spec.build(bump, read))
+        tree = _tree_outcomes_full(world, init, denote(spec.build(bump, read)))
+        assert interp == tree
+
+
+class TestTreeOutcomesAPI:
+    def test_simple(self, world, conc):
+        outcomes = tree_outcomes(
+            world, counter_state(conc), denote(act(BumpAction(conc)))
+        )
+        assert len(outcomes) == 1
+        ((result, __),) = outcomes
+        assert result == 0
+
+    def test_cut_detected(self, world, conc):
+        action = ReadCounterAction(conc)
+        spin = ffix(lambda loop: lambda: bind(act(action), lambda __: loop()))
+        with pytest.raises(AssertionError):
+            tree_outcomes(world, counter_state(conc), denote(spin(), depth=2))

@@ -1,0 +1,182 @@
+"""Tests for the VC machinery: annotations and the consequence rule."""
+
+import pytest
+
+from repro.core import Scenario, Spec, World
+from repro.core.prog import bind, seq
+from repro.core.vcgen import (
+    annotate,
+    annotations_of,
+    check_weakening,
+    check_weakening_on_runs,
+    collect_behaviours,
+)
+from repro.core.verify import check_triple, triple_issues
+from repro.heap import ptr
+from repro.semantics import explore, initial_config
+
+from .helpers import BumpAction, CounterConcurroid, counter_state
+
+
+@pytest.fixture()
+def conc():
+    return CounterConcurroid(cap=6)
+
+
+@pytest.fixture()
+def world(conc):
+    return World((conc,))
+
+
+class TestAnnotations:
+    def test_holding_annotation_passes(self, world, conc):
+        from repro.core.prog import act
+
+        prog = seq(
+            annotate(lambda s: s.self_of("ct") == 0, "nothing yet"),
+            act(BumpAction(conc)),
+            annotate(lambda s: s.self_of("ct") == 1, "one bump recorded"),
+        )
+        result = explore(initial_config(world, counter_state(conc), prog), env_budget=2)
+        assert result.ok
+
+    def test_unstable_annotation_caught_by_interference(self, world, conc):
+        # "The counter equals 0" is NOT stable: some schedule interleaves
+        # an environment bump before the probe and faults it.
+        from repro.core.prog import act
+
+        prog = seq(
+            annotate(lambda s: s.joint_of("ct")[ptr(7)] == 0, "cell still 0"),
+            act(BumpAction(conc)),
+        )
+        result = explore(initial_config(world, counter_state(conc), prog), env_budget=1)
+        assert any("assert[cell still 0]" in str(v) for v in result.violations)
+
+    def test_subjective_annotation_survives_interference(self, world, conc):
+        # ...whereas "MY contribution is 0" is stable: same schedules, no fault.
+        from repro.core.prog import act
+
+        prog = seq(
+            annotate(lambda s: s.self_of("ct") == 0, "my contribution 0"),
+            act(BumpAction(conc)),
+        )
+        result = explore(initial_config(world, counter_state(conc), prog), env_budget=2)
+        assert result.ok
+
+    def test_annotations_of_lists_prefix_probes(self, conc):
+        from repro.core.prog import par
+
+        prog = par(annotate(lambda s: True, "a"), annotate(lambda s: True, "b"))
+        names = annotations_of(prog)
+        assert set(names) == {"assert[a]", "assert[b]"}
+
+    def test_lock_held_annotation_in_cg_increment(self):
+        # The canonical Floyd annotation: between acquire and release the
+        # thread holds the lock — under every interleaving.
+        from repro.core.prog import act
+        from repro.structures.cg_increment import (
+            CELL,
+            initial_state,
+            make_increment_lock,
+            make_world,
+        )
+
+        lock = make_increment_lock()
+        prog = seq(
+            lock.acquire(),
+            annotate(lambda s: lock.holds(s), "holding"),
+            bind(lock.read(CELL), lambda x: lock.write(CELL, x + 1)),
+            annotate(lambda s: lock.holds(s), "still holding"),
+            lock.release(lambda a: a + 1),
+            annotate(lambda s: lock.quiescent(s), "released"),
+        )
+        result = explore(
+            initial_config(make_world(lock), initial_state(lock, 0, 0), prog),
+            env_budget=1,
+            max_steps=40,
+        )
+        assert result.ok, [str(v) for v in result.violations][:2]
+
+
+class TestWeakening:
+    def _stronger(self, conc):
+        return Spec(
+            "exact",
+            pre=lambda s: True,
+            post=lambda r, s2, s1: s2.self_of("ct") == s1.self_of("ct") + 1,
+        )
+
+    def _weaker(self, conc):
+        return Spec(
+            "grew",
+            pre=lambda s: True,
+            post=lambda r, s2, s1: s2.self_of("ct") >= s1.self_of("ct"),
+        )
+
+    def test_valid_weakening(self, world, conc):
+        from repro.core.prog import act
+
+        issues = check_weakening_on_runs(
+            world,
+            self._stronger(conc),
+            self._weaker(conc),
+            [Scenario(counter_state(conc), act(BumpAction(conc)))],
+        )
+        assert issues == []
+
+    def test_invalid_weakening_caught(self, world, conc):
+        from repro.core.prog import act
+
+        bogus = Spec(
+            "bogus",
+            pre=lambda s: True,
+            post=lambda r, s2, s1: s2.self_of("ct") == 99,
+        )
+        issues = check_weakening_on_runs(
+            world,
+            self._stronger(conc),
+            bogus,
+            [Scenario(counter_state(conc), act(BumpAction(conc)))],
+        )
+        assert issues
+
+    def test_pre_strengthening_caught(self, conc):
+        strong = Spec("s", pre=lambda s: False, post=lambda r, s2, s1: True)
+        weak = Spec("w", pre=lambda s: True, post=lambda r, s2, s1: True)
+        issues = check_weakening(strong, weak, [counter_state(conc)])
+        assert issues
+
+    def test_span_root_weakening(self):
+        # §3.5's emitted obligation: under the closed world, span_tp's
+        # guarantees entail span_root_tp's.
+        from repro.graphs import graph_heap
+        from repro.structures.spanning_tree import (
+            SpanActions,
+            SpanTreeConcurroid,
+            closed_world_state,
+            make_span_root,
+            span_root_spec,
+        )
+        from repro.structures.spanning_tree_verify import root_world
+
+        root = ptr(1)
+        h = graph_heap({1: (2, 2), 2: (1, 0)})
+        spec = span_root_spec(root)
+        scenario = Scenario(
+            closed_world_state(h),
+            make_span_root(SpanActions(SpanTreeConcurroid()), root),
+        )
+        behaviours = collect_behaviours(root_world(), [scenario])
+        assert behaviours
+        for s1, r, s2 in behaviours:
+            assert spec.check_post(r, s2, s1)
+
+    def test_collect_behaviours_raises_on_violation(self, conc):
+        from repro.core.prog import act
+
+        tiny = CounterConcurroid(cap=0)
+        with pytest.raises(AssertionError):
+            collect_behaviours(
+                World((tiny,)),
+                [Scenario(counter_state(tiny), act(BumpAction(tiny)))],
+            )

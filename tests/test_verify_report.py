@@ -1,0 +1,72 @@
+"""Unit tests for the obligation/report plumbing."""
+
+import pytest
+
+from repro.core.errors import SpecViolation
+from repro.core.verify import CATEGORIES, ObligationResult, ReportBuilder
+
+
+class TestReportBuilder:
+    def test_successful_obligation(self):
+        builder = ReportBuilder("demo")
+        result = builder.obligation("ok", "Libs", lambda: [])
+        assert result.ok
+        assert builder.build().ok
+
+    def test_failing_obligation_collects_issues(self):
+        builder = ReportBuilder("demo")
+        builder.obligation("bad", "Main", lambda: ["issue one", "issue two"])
+        report = builder.build()
+        assert not report.ok
+        assert report.failures()[0].issues == ["issue one", "issue two"]
+
+    def test_exception_becomes_failure(self):
+        builder = ReportBuilder("demo")
+        builder.obligation("boom", "Acts", lambda: 1 / 0)
+        report = builder.build()
+        assert not report.ok
+        assert "ZeroDivisionError" in report.failures()[0].issues[0]
+
+    def test_unknown_category_rejected(self):
+        builder = ReportBuilder("demo")
+        with pytest.raises(ValueError):
+            builder.obligation("x", "Wrong", lambda: [])
+
+    def test_counts_and_seconds_by_category(self):
+        builder = ReportBuilder("demo")
+        builder.obligation("a", "Libs", lambda: [])
+        builder.obligation("b", "Libs", lambda: [])
+        builder.obligation("c", "Main", lambda: [])
+        report = builder.build()
+        counts = report.counts_by_category()
+        assert counts["Libs"] == 2
+        assert counts["Main"] == 1
+        assert counts["Conc"] == 0
+        assert set(report.seconds_by_category()) == set(CATEGORIES)
+
+    def test_raise_on_failure(self):
+        builder = ReportBuilder("demo")
+        builder.obligation("bad", "Main", lambda: ["nope"])
+        with pytest.raises(SpecViolation):
+            builder.build().raise_on_failure()
+
+    def test_pretty_contains_status(self):
+        builder = ReportBuilder("demo")
+        builder.obligation("a", "Libs", lambda: [])
+        text = builder.build().pretty()
+        assert "demo" in text and "[Libs] a: ok" in text
+
+    def test_obligation_str(self):
+        ok = ObligationResult("a", "Libs", True, [], 0.5)
+        bad = ObligationResult("b", "Main", False, ["x"], 0.1)
+        assert "ok" in str(ok)
+        assert "FAILED" in str(bad)
+
+    def test_issues_stringified(self):
+        class Thing:
+            def __str__(self):
+                return "thing-as-string"
+
+        builder = ReportBuilder("demo")
+        builder.obligation("t", "Stab", lambda: [Thing()])
+        assert builder.build().failures()[0].issues == ["thing-as-string"]
