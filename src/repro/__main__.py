@@ -1,6 +1,86 @@
-"""``python -m repro`` — run the full evaluation (Tables 1-2, Figures 2 & 5)."""
+"""``python -m repro`` — evaluation and static-analysis entry points.
 
-from .eval.report import main
+* ``python -m repro`` / ``python -m repro eval`` — the full evaluation
+  (Tables 1-2, Figures 2 & 5, plus the fcsl-lint sweep).
+* ``python -m repro lint`` — static analysis only: lint the registry's
+  case studies.  Exits non-zero iff an error-severity diagnostic fires
+  (``--strict`` tightens that to warnings).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        Severity,
+        lint_registry,
+        render_json,
+        render_text,
+        select,
+        worst_severity,
+    )
+
+    try:
+        reports = lint_registry(names=args.program or None)
+    except KeyError as exc:
+        print(f"fcsl-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    diagnostics = select(reports, codes=args.select or None)
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    worst = worst_severity(diagnostics)
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    return 1 if worst is not None and worst >= threshold else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FCSL reproduction: evaluation and static analysis",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    lint = sub.add_parser("lint", help="run fcsl-lint over the registry")
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output renderer (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="FCSL0xx",
+        help="only report codes with this prefix (repeatable)",
+    )
+    lint.add_argument(
+        "--program",
+        action="append",
+        metavar="NAME",
+        help="only lint this registry program (repeatable)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not only errors",
+    )
+
+    sub.add_parser("eval", help="run the full evaluation (default)")
+
+    args = parser.parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args)
+
+    from .eval.report import main as eval_main
+
+    eval_main()  # raises SystemExit itself
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

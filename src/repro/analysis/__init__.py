@@ -1,0 +1,37 @@
+"""fcsl-lint: static analysis of concurroid/action/PCM/spec/program
+definitions, plus the verifier pre-pass built on its facts.
+
+Entry points:
+
+* :func:`repro.analysis.runner.lint_registry` — sweep the Table 1 case
+  studies (the ``python -m repro lint`` CLI).
+* :func:`repro.analysis.prepass.static_prepass` — context manager that
+  lets the dynamic verifiers skip provably-redundant stability
+  obligations.
+"""
+
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+    select,
+    worst_severity,
+)
+from .prepass import StaticPrepass, static_prepass
+from .runner import lint_registry, lint_target
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Severity",
+    "StaticPrepass",
+    "lint_registry",
+    "lint_target",
+    "render_json",
+    "render_text",
+    "select",
+    "static_prepass",
+    "worst_severity",
+]

@@ -1,0 +1,200 @@
+"""Action rules (FCSL010-014): static checks on atomic actions.
+
+The central rule is **footprint escape** (FCSL010): an action's ``step``
+must only mutate heap cells inside its declared ``footprint``.  The
+dynamic checker (:func:`repro.core.action.check_action`) compares heap
+*deltas*, which misses writes that happen to restore the old value; here
+every state fed to ``step`` is instrumented with the recording heap shim
+(:mod:`repro.analysis.heapshim`), so any touch — even a no-op rewrite —
+of an out-of-footprint cell is caught.
+
+The remaining rules mirror the action metatheory of §3.3 without
+exploring schedules: domain growth must be declared (``allocates``,
+FCSL011), every effect must match idle or a declared transition
+(FCSL012), actions should be executable somewhere in the model (FCSL013)
+and carry a real name (FCSL014).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.action import Action
+from ..core.concurroid import Concurroid
+from ..core.state import State
+from .diagnostics import Diagnostic, diag, loc_of
+from .heapshim import effective_log, instrument_state
+
+#: Cap on (state, args) executions per action — lint must stay fast.
+MAX_RUNS = 400
+
+
+def lint_action(
+    action: Action,
+    states: Iterable[State],
+    args_family: Sequence[tuple] = ((),),
+    *,
+    subject: str = "",
+    max_runs: int = MAX_RUNS,
+) -> list[Diagnostic]:
+    """Run every action rule on one action over one state family."""
+    states = list(states)
+    out: list[Diagnostic] = []
+    conc: Concurroid = action.concurroid
+    loc = loc_of(type(action).step) or loc_of(action)
+
+    # FCSL014 — the default name makes every report unreadable.
+    if action.name == Action.name:
+        out.append(
+            diag(
+                "FCSL014",
+                f"action {type(action).__name__} kept the default name "
+                f"{Action.name!r}",
+                subject=subject,
+                obj=type(action).__name__,
+                loc=loc,
+            )
+        )
+
+    ever_safe = False
+    runs = 0
+    escape_reported = False
+    alloc_reported = False
+    corr_reported = False
+    for state in states:
+        if runs >= max_runs:
+            break
+        for args in args_family:
+            if runs >= max_runs:
+                break
+            if not _safe(action, state, args):
+                continue
+            ever_safe = True
+            runs += 1
+            rec_state, reads = instrument_state(state)
+            try:
+                __, post = action.step(rec_state, *args)
+            except Exception:  # noqa: BLE001 - totality is the dynamic checker's job
+                continue
+            # Only mutations whose results were installed in the post state
+            # count — discarded pure views (e.g. resource projections) don't.
+            log = effective_log(post, reads=reads)
+
+            # FCSL010 — touched cells outside the declared footprint.
+            # Ownership *transfers* (a cell freed from one component and
+            # grafted into another with its value intact) leave the real
+            # heap untouched — they erase to no machine operation and are
+            # exempt, exactly like the dynamic erasure check treats them.
+            if not escape_reported:
+                try:
+                    footprint = frozenset(action.footprint(state, *args))
+                except Exception:  # noqa: BLE001
+                    footprint = frozenset()
+                escaped_set = log.touched - footprint
+                if escaped_set:
+                    escaped_set -= _transfers(conc, state, post, log)
+                escaped = sorted(escaped_set, key=lambda p: p.addr)
+                if escaped:
+                    cells = ", ".join(repr(p) for p in escaped)
+                    out.append(
+                        diag(
+                            "FCSL010",
+                            f"action {action.name!r} touches {cells} outside "
+                            f"its declared footprint {sorted(footprint, key=lambda p: p.addr)!r}",
+                            subject=subject,
+                            obj=action.name,
+                            loc=loc,
+                        )
+                    )
+                    escape_reported = True
+
+            # FCSL011 — real-heap domain change without allocates=True.
+            if not alloc_reported and not action.allocates:
+                try:
+                    before = conc.real_heap(state).dom()
+                    after = conc.real_heap(post).dom()
+                except Exception:  # noqa: BLE001
+                    before = after = frozenset()
+                if before != after:
+                    out.append(
+                        diag(
+                            "FCSL011",
+                            f"action {action.name!r} changes the real heap domain "
+                            f"({sorted(before ^ after, key=lambda p: p.addr)!r}) "
+                            "but declares allocates=False",
+                            subject=subject,
+                            obj=action.name,
+                            loc=loc,
+                        )
+                    )
+                    alloc_reported = True
+
+            # FCSL012 — the step is neither idle nor any declared transition.
+            if not corr_reported and not _corresponds(conc, state, post):
+                out.append(
+                    diag(
+                        "FCSL012",
+                        f"action {action.name!r} steps to a state matching neither "
+                        "idle nor any declared transition",
+                        subject=subject,
+                        obj=action.name,
+                        loc=loc,
+                    )
+                )
+                corr_reported = True
+
+    # FCSL013 — never executable anywhere in the model.
+    if states and not ever_safe:
+        out.append(
+            diag(
+                "FCSL013",
+                f"action {action.name!r} is safe in none of the "
+                f"{len(states)} modelled state(s)",
+                subject=subject,
+                obj=action.name,
+                loc=loc,
+            )
+        )
+
+    return out
+
+
+_MISSING = object()
+
+
+def _transfers(conc: Concurroid, state: State, post: State, log) -> frozenset:
+    """Cells that moved between components without a real-heap change."""
+    candidates = log.frees & log.allocs
+    if not candidates:
+        return frozenset()
+    try:
+        before = conc.real_heap(state)
+        after = conc.real_heap(post)
+    except Exception:  # noqa: BLE001 - can't prove a transfer: no exemption
+        return frozenset()
+    return frozenset(
+        p
+        for p in candidates
+        if before.get(p, _MISSING) == after.get(p, _MISSING)
+    )
+
+
+def _safe(action: Action, state: State, args: tuple) -> bool:
+    try:
+        return bool(action.safe(state, *args))
+    except Exception:  # noqa: BLE001 - a crashing guard is "not safe"
+        return False
+
+
+def _corresponds(conc: Concurroid, state: State, post: State) -> bool:
+    """Idle, or one declared transition step, reaches ``post``."""
+    if post == state:
+        return True
+    for t in conc.transitions():
+        try:
+            for __, succ in t.successors(state):
+                if succ == post:
+                    return True
+        except Exception:  # noqa: BLE001
+            continue
+    return False

@@ -1,0 +1,294 @@
+"""Diagnostic core of fcsl-lint.
+
+Every rule in :mod:`repro.analysis` reports through this module: a
+:class:`Diagnostic` carries a *stable* code (``FCSL001``..), a severity,
+the object it fired on, a human message and — when the offending object
+is ordinary Python (a transition's ``requires``, an action's ``step``, a
+spec's ``post``) — the source location of that definition.
+
+The code table is append-only: codes are part of the tool's interface
+(``--select FCSL010``, CI baselines), so renumbering is a breaking
+change.  New rules take the next free number in their block:
+
+* ``FCSL00x`` — protocol (concurroid) rules
+* ``FCSL01x`` — atomic-action rules
+* ``FCSL02x`` — spec / assertion rules
+* ``FCSL03x`` — program (DSL) rules
+* ``FCSL04x`` — PCM algebra rules
+"""
+
+from __future__ import annotations
+
+import enum
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Ordered so that ``max`` over diagnostics picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """Where the offending definition lives (best effort)."""
+
+    file: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+#: code -> (severity, slug, one-line description)
+CODES: dict[str, tuple[Severity, str, str]] = {
+    # -- protocol (concurroids) -------------------------------------------------
+    "FCSL001": (
+        Severity.ERROR,
+        "vacuous-coherence",
+        "the coherence predicate rejects every modelled state",
+    ),
+    "FCSL002": (
+        Severity.WARNING,
+        "dead-transition",
+        "a declared transition is enabled in no reachable modelled state",
+    ),
+    "FCSL003": (
+        Severity.ERROR,
+        "reserved-idle-name",
+        "a transition is explicitly named 'idle' (idle is implicit in correspondence)",
+    ),
+    "FCSL004": (
+        Severity.ERROR,
+        "duplicate-transition-name",
+        "two transitions of one concurroid share a name",
+    ),
+    "FCSL005": (
+        Severity.ERROR,
+        "unmodelled-label",
+        "an owned label appears in no modelled state",
+    ),
+    "FCSL006": (
+        Severity.WARNING,
+        "inert-entangled-part",
+        "an entangled component is never changed by any transition",
+    ),
+    # -- atomic actions ---------------------------------------------------------
+    "FCSL010": (
+        Severity.ERROR,
+        "footprint-escape",
+        "an action's step touches heap cells outside its declared footprint",
+    ),
+    "FCSL011": (
+        Severity.ERROR,
+        "undeclared-allocation",
+        "an action changes the real heap domain without declaring allocates=True",
+    ),
+    "FCSL012": (
+        Severity.ERROR,
+        "no-corresponding-transition",
+        "an action's step matches neither idle nor any declared transition",
+    ),
+    "FCSL013": (
+        Severity.WARNING,
+        "dead-action",
+        "an action is safe in no modelled state (never executable)",
+    ),
+    "FCSL014": (
+        Severity.WARNING,
+        "anonymous-action",
+        "an action kept the default name; reports will be unreadable",
+    ),
+    # -- specs / assertions -----------------------------------------------------
+    "FCSL020": (
+        Severity.WARNING,
+        "brute-forced-self-framed",
+        "an opaque assertion is observably self-framed; route it through "
+        "self_framed() for free stability instead of closure exploration",
+    ),
+    "FCSL021": (
+        Severity.INFO,
+        "unread-snapshot",
+        "the postcondition binds the pre-state snapshot but never reads it",
+    ),
+    "FCSL022": (
+        Severity.WARNING,
+        "vacuous-precondition",
+        "the precondition rejects every modelled state; the triple checks nothing",
+    ),
+    # -- programs (the prog DSL) ------------------------------------------------
+    "FCSL030": (
+        Severity.ERROR,
+        "actless-loop",
+        "a recursive (ffix) body performs no atomic action: guaranteed divergence",
+    ),
+    "FCSL031": (
+        Severity.WARNING,
+        "aliased-par",
+        "both par branches are the same program object (shared self component)",
+    ),
+    "FCSL032": (
+        Severity.ERROR,
+        "hide-collision",
+        "hide installs a label that is already present in the enclosing scope",
+    ),
+    "FCSL033": (
+        Severity.ERROR,
+        "unscoped-action",
+        "a program acts on a concurroid whose labels the scope does not provide",
+    ),
+    # -- PCM algebra ------------------------------------------------------------
+    "FCSL040": (
+        Severity.ERROR,
+        "non-commutative-join",
+        "join is observably non-commutative on the sample",
+    ),
+    "FCSL041": (
+        Severity.ERROR,
+        "non-associative-join",
+        "join is observably non-associative on the sample",
+    ),
+    "FCSL042": (
+        Severity.ERROR,
+        "broken-unit",
+        "the declared unit is not a (valid) identity for join",
+    ),
+    "FCSL043": (
+        Severity.INFO,
+        "degenerate-sample",
+        "the PCM sample has fewer than two elements; algebra laws are vacuous",
+    ),
+    "FCSL044": (
+        Severity.ERROR,
+        "validity-not-monotone",
+        "a valid join has an invalid sub-element (validity must be monotone)",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule on one object."""
+
+    code: str
+    message: str
+    subject: str = ""  # the program/structure the sweep was linting
+    obj: str = ""  # the concrete object (transition name, action name, ...)
+    loc: SourceLoc | None = None
+    extra: dict[str, Any] = field(default=None, compare=False, hash=False)  # type: ignore[assignment]
+
+    @property
+    def severity(self) -> Severity:
+        return CODES[self.code][0]
+
+    @property
+    def slug(self) -> str:
+        return CODES[self.code][1]
+
+    def render(self) -> str:
+        where = f" [{self.loc}]" if self.loc else ""
+        scope = f"{self.subject}: " if self.subject else ""
+        return f"{self.code} {self.severity} ({self.slug}) {scope}{self.message}{where}"
+
+    def to_json(self) -> dict[str, Any]:
+        out = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "slug": self.slug,
+            "subject": self.subject,
+            "object": self.obj,
+            "message": self.message,
+        }
+        if self.loc is not None:
+            out["file"] = self.loc.file
+            out["line"] = self.loc.line
+        return out
+
+
+def diag(
+    code: str,
+    message: str,
+    *,
+    subject: str = "",
+    obj: str = "",
+    loc: SourceLoc | None = None,
+) -> Diagnostic:
+    """Build a diagnostic, checking the code exists in the table."""
+    if code not in CODES:
+        raise KeyError(f"unknown diagnostic code {code!r}")
+    return Diagnostic(code, message, subject=subject, obj=obj, loc=loc)
+
+
+def loc_of(obj: Any) -> SourceLoc | None:
+    """Best-effort source location of a callable / class / instance."""
+    for candidate in (obj, getattr(obj, "__func__", None), type(obj)):
+        if candidate is None:
+            continue
+        try:
+            file = inspect.getsourcefile(candidate)
+            __, line = inspect.getsourcelines(candidate)
+        except (TypeError, OSError):
+            continue
+        if file:
+            return SourceLoc(file, line)
+    code = getattr(obj, "__code__", None)
+    if code is not None:
+        return SourceLoc(code.co_filename, code.co_firstlineno)
+    return None
+
+
+# -- filtering & rendering ----------------------------------------------------------------------
+
+
+def select(
+    diagnostics: Iterable[Diagnostic],
+    codes: Sequence[str] | None = None,
+) -> list[Diagnostic]:
+    """Keep diagnostics whose code starts with any selected prefix
+    (``FCSL01`` selects the whole action block)."""
+    diagnostics = list(diagnostics)
+    if not codes:
+        return diagnostics
+    prefixes = tuple(codes)
+    return [d for d in diagnostics if d.code.startswith(prefixes)]
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    return max((d.severity for d in diagnostics), default=None)
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """The human report: one line per finding plus a summary line."""
+    lines = [d.render() for d in diagnostics]
+    counts = {sev: 0 for sev in Severity}
+    for d in diagnostics:
+        counts[d.severity] += 1
+    summary = ", ".join(
+        f"{n} {sev}(s)" for sev, n in sorted(counts.items(), reverse=True) if n
+    )
+    lines.append(f"fcsl-lint: {summary or 'clean'}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """The machine report: a JSON object with findings and counts."""
+    counts = {str(sev): 0 for sev in Severity}
+    for d in diagnostics:
+        counts[str(d.severity)] += 1
+    return json.dumps(
+        {
+            "tool": "fcsl-lint",
+            "diagnostics": [d.to_json() for d in diagnostics],
+            "counts": counts,
+        },
+        indent=2,
+        sort_keys=True,
+    )

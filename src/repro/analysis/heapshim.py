@@ -1,0 +1,164 @@
+"""A recording :class:`~repro.heap.Heap` shim.
+
+The footprint-escape rule (FCSL010) needs to know which cells an action's
+``step`` *touched*, not just which cells ended up different — an
+update that rewrites a cell with its old value is invisible to a
+before/after diff but is still a write outside the declared footprint.
+The shim is a ``Heap`` subclass whose mutating operations return new
+recording heaps carrying the accumulated operation sets, so chained
+updates (``h.update(p, v).update(q, w)``) stay tracked.
+
+Heaps are persistent, so a "mutation" only matters if its result is
+*installed* in the action's post state — pure view computations (for
+example carving the protected resource out of a joint heap with
+``joint.free(lock_cell)``) derive heaps that are read and discarded.
+Accordingly the operation sets ride on each derived heap instance, and
+:func:`effective_log` aggregates only the heaps present in a given
+(post) state.  Reads go to a shared :class:`HeapLog` since observation
+is harmless wherever it happens.
+
+Recording heaps are *observationally identical* to plain heaps (equality,
+hashing, PCM structure are inherited), so instrumented states flow
+through unmodified action code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..core.state import State, SubjState
+from ..heap.heap import Heap
+from ..heap.pointers import Ptr
+
+_EMPTY: frozenset[Ptr] = frozenset()
+
+
+@dataclass
+class HeapLog:
+    """Cells touched by heap operations (an aggregation of op sets)."""
+
+    reads: set[Ptr] = field(default_factory=set)
+    writes: set[Ptr] = field(default_factory=set)
+    allocs: set[Ptr] = field(default_factory=set)
+    frees: set[Ptr] = field(default_factory=set)
+
+    @property
+    def touched(self) -> frozenset[Ptr]:
+        return frozenset(self.writes | self.allocs | self.frees)
+
+
+class RecordingHeap(Heap):
+    """A heap whose derived heaps carry the mutations that produced them."""
+
+    __slots__ = ("_log", "_writes", "_allocs", "_frees")
+
+    def __init__(
+        self,
+        items=None,
+        *,
+        log: HeapLog,
+        writes: frozenset[Ptr] = _EMPTY,
+        allocs: frozenset[Ptr] = _EMPTY,
+        frees: frozenset[Ptr] = _EMPTY,
+        _valid: bool = True,
+    ):
+        super().__init__(items, _valid=_valid)
+        self._log = log
+        self._writes = writes
+        self._allocs = allocs
+        self._frees = frees
+
+    def _rewrap(
+        self,
+        out: Heap,
+        *,
+        writes: Iterable[Ptr] = (),
+        allocs: Iterable[Ptr] = (),
+        frees: Iterable[Ptr] = (),
+    ) -> "RecordingHeap":
+        w = self._writes | frozenset(writes)
+        a = self._allocs | frozenset(allocs)
+        f = self._frees | frozenset(frees)
+        if not out.is_valid:
+            return RecordingHeap(
+                None, log=self._log, writes=w, allocs=a, frees=f, _valid=False
+            )
+        return RecordingHeap(
+            dict(out.items()), log=self._log, writes=w, allocs=a, frees=f
+        )
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, p: Ptr, default: Any = None) -> Any:
+        self._log.reads.add(p)
+        return super().get(p, default)
+
+    def __getitem__(self, p: Ptr) -> Any:
+        self._log.reads.add(p)
+        return super().__getitem__(p)
+
+    # -- mutations (rewrap with the op recorded, so chains keep tracking) ------
+
+    def update(self, p: Ptr, value: Any) -> "Heap":
+        return self._rewrap(super().update(p, value), writes={p})
+
+    def free(self, p: Ptr) -> "Heap":
+        return self._rewrap(super().free(p), writes={p}, frees={p})
+
+    def alloc(self, value: Any) -> tuple[Ptr, "Heap"]:
+        p, out = super().alloc(value)
+        return p, self._rewrap(out, writes={p}, allocs={p})
+
+    def join(self, other: Heap) -> "Heap":
+        # Join-extension is how connector-style steps graft donated cells in;
+        # the grafted cells are domain growth, i.e. writes.
+        out = super().join(other)
+        grafted = other.dom() if other.is_valid else frozenset()
+        return self._rewrap(out, writes=grafted, allocs=grafted)
+
+    def remove_all(self, doms: Iterable[Ptr]) -> "Heap":
+        doms = frozenset(doms)
+        removed = doms & self.dom()
+        return self._rewrap(
+            super().remove_all(doms), writes=removed, frees=removed
+        )
+
+
+def instrument_state(state: State) -> tuple[State, HeapLog]:
+    """Replace every heap-valued component of ``state`` with a recording
+    heap sharing one read log; non-heap components pass through untouched."""
+    log = HeapLog()
+
+    def wrap(value: Any) -> Any:
+        if isinstance(value, Heap) and not isinstance(value, RecordingHeap):
+            if not value.is_valid:
+                return RecordingHeap(None, log=log, _valid=False)
+            return RecordingHeap(dict(value.items()), log=log)
+        return value
+
+    parts = {
+        lbl: SubjState(
+            wrap(comp.self_), wrap(comp.joint), wrap(comp.other)
+        )
+        for lbl, comp in state.items()
+    }
+    return State(parts), log
+
+
+def effective_log(state: State, reads: HeapLog | None = None) -> HeapLog:
+    """The mutations that *flowed into* ``state``.
+
+    Aggregates the op sets of every :class:`RecordingHeap` found in
+    ``state``'s components; derived heaps that an action computed and
+    discarded (pure views) contribute nothing.  ``reads`` optionally
+    supplies the shared read log from :func:`instrument_state`.
+    """
+    log = HeapLog(reads=set(reads.reads) if reads is not None else set())
+    for __, comp in state.items():
+        for value in (comp.self_, comp.joint, comp.other):
+            if isinstance(value, RecordingHeap):
+                log.writes |= value._writes
+                log.allocs |= value._allocs
+                log.frees |= value._frees
+    return log

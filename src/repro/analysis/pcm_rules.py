@@ -1,0 +1,69 @@
+"""PCM rules (FCSL040-044): algebra checks on a symbolic sample.
+
+Thin lint front-end over :mod:`repro.pcm.laws` — the same law checkers
+the verifier runs, but reported as stable diagnostics with locations, so
+a broken algebra is caught at definition time rather than as a failed
+``Libs`` obligation deep inside a verification run.
+"""
+
+from __future__ import annotations
+
+from ..pcm.base import PCM
+from ..pcm.laws import (
+    check_associativity,
+    check_commutativity,
+    check_unit_law,
+    check_unit_valid,
+    check_validity_monotone,
+)
+from .diagnostics import Diagnostic, diag, loc_of
+
+
+def lint_pcm(pcm: PCM, *, subject: str = "") -> list[Diagnostic]:
+    """Run every PCM rule on one instance."""
+    out: list[Diagnostic] = []
+    pcm_name = type(pcm).__name__
+    loc = loc_of(pcm)
+
+    def report(code: str, violations) -> None:
+        for v in violations[:1]:  # one witness per law is enough
+            out.append(
+                diag(
+                    code,
+                    f"{pcm_name}: {v}",
+                    subject=subject,
+                    obj=pcm_name,
+                    loc=loc,
+                )
+            )
+
+    try:
+        sample = tuple(pcm.sample())
+    except Exception as exc:  # noqa: BLE001 - a crashing sample breaks every law
+        return [
+            diag(
+                "FCSL043",
+                f"{pcm_name}: sample() raised {type(exc).__name__}: {exc}",
+                subject=subject,
+                obj=pcm_name,
+                loc=loc,
+            )
+        ]
+
+    if len(sample) < 2:
+        out.append(
+            diag(
+                "FCSL043",
+                f"{pcm_name}: sample has {len(sample)} element(s); "
+                "commutativity/associativity checks are vacuous",
+                subject=subject,
+                obj=pcm_name,
+                loc=loc,
+            )
+        )
+
+    report("FCSL040", check_commutativity(pcm, sample))
+    report("FCSL041", check_associativity(pcm, sample))
+    report("FCSL042", check_unit_law(pcm, sample) + check_unit_valid(pcm))
+    report("FCSL044", check_validity_monotone(pcm, sample))
+    return out

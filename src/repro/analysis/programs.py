@@ -1,0 +1,271 @@
+"""Program rules (FCSL030-033): a static walk of the prog DSL.
+
+Programs are deep-embedded (:mod:`repro.core.prog`) except for two
+opaque spots: ``Bind`` continuations and ``Call`` bodies are Python
+closures.  The walker treats them the way :func:`repro.semantics.trees.tree_size`
+does — it *probes* continuations with candidate values (a permissive
+``_Probe`` object plus a few common scalars) under ``try/except``, and
+expands ``Call`` nodes with recursion cut on the callee's identity — so
+every reachable branch of the program tree is seen without running any
+action.
+
+Rules:
+
+* FCSL030 — a recursive knot (``ffix``) none of whose unfoldings performs
+  an atomic action: the operational semantics can only spin, guaranteed
+  divergence.
+* FCSL031 — ``par`` applied to the *same* program object twice.
+* FCSL032 — ``hide`` installing a label the enclosing scope already has.
+* FCSL033 — an action whose concurroid needs labels the scope (ambient
+  world + enclosing hides) does not provide.
+
+Every rule is conservative: anything unprobeable is assumed innocent, and
+the walk carries a node budget, so no rule can loop or false-positive on
+opaque control flow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.prog import ActCall, Bind, Call, HideProg, Par, Prog, Ret
+from ..semantics.trees import try_kont
+from .diagnostics import Diagnostic, diag, loc_of
+
+#: Total DSL nodes visited per program before the walker gives up.
+MAX_NODES = 20_000
+
+
+class _Probe:
+    """A value that survives most continuation code: falsy, never equal to
+    anything, and closed under common operations."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return False
+
+    def __ne__(self, other: object) -> bool:
+        return True
+
+    def __hash__(self) -> int:
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self):
+        return iter((_Probe(), _Probe()))
+
+    def __getitem__(self, __) -> "_Probe":
+        return _Probe()
+
+    def __call__(self, *__, **___) -> "_Probe":
+        return _Probe()
+
+    def __repr__(self) -> str:
+        return "<lint probe>"
+
+
+def _arith(self, *__):
+    return _Probe()
+
+
+for _name in (
+    "__add__", "__radd__", "__sub__", "__rsub__", "__mul__", "__rmul__",
+    "__neg__", "__and__", "__or__", "__lt__", "__le__", "__gt__", "__ge__",
+):
+    setattr(_Probe, _name, _arith)
+
+#: Values each continuation is probed with; every one that produces a
+#: program contributes a branch to the walk.
+PROBE_VALUES: tuple = (_Probe(), None, True, False)
+
+
+def _call_key(node: Call) -> tuple:
+    """Identity of the recursive knot behind a ``Call``.
+
+    ``ffix`` wraps every unfolding in the same lambda *code*, so the code
+    object alone conflates distinct knots; the closure cells (the ``rec``
+    and generator the lambda captures) disambiguate.
+    """
+    fn = node.fn
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return ("opaque", id(fn))
+    cells = getattr(fn, "__closure__", None) or ()
+    ids = []
+    for cell in cells:
+        try:
+            ids.append(id(cell.cell_contents))
+        except ValueError:  # empty cell
+            ids.append(0)
+    return (id(code), tuple(ids))
+
+
+def lint_prog(
+    prog: Prog,
+    *,
+    ambient_labels: Iterable[str] | None = None,
+    subject: str = "",
+    name: str = "program",
+    max_nodes: int = MAX_NODES,
+) -> list[Diagnostic]:
+    """Run every program rule on one program.
+
+    ``ambient_labels`` is the label set the enclosing world provides; pass
+    ``None`` to disable the scoping rules (FCSL032/FCSL033 need it).
+    """
+    out: list[Diagnostic] = []
+    scope0 = frozenset(ambient_labels) if ambient_labels is not None else None
+    budget = [max_nodes]
+    expanded: dict[tuple, tuple[bool, frozenset]] = {}
+    stack: list[tuple] = []
+    flagged: set[tuple] = set()
+
+    def walk(node: Prog, scope: frozenset | None) -> tuple[bool, frozenset]:
+        """Returns ``(has_act, open_rec_keys)`` for the subtree: whether any
+        unfolding performs an action, and which enclosing recursive knots
+        the subtree re-enters."""
+        if budget[0] <= 0:
+            return True, frozenset()  # out of budget: assume innocent
+        budget[0] -= 1
+
+        if isinstance(node, Ret):
+            return False, frozenset()
+
+        if isinstance(node, ActCall):
+            if scope is not None:
+                labels = frozenset(node.action.concurroid.labels)
+                if not labels <= scope:
+                    out.append(
+                        diag(
+                            "FCSL033",
+                            f"{name}: action {node.action.name!r} needs labels "
+                            f"{sorted(labels - scope)!r} the scope does not provide "
+                            f"(scope: {sorted(scope)!r})",
+                            subject=subject,
+                            obj=node.action.name,
+                            loc=loc_of(type(node.action).step),
+                        )
+                    )
+            return True, frozenset()
+
+        if isinstance(node, Bind):
+            has_act, rec = walk(node.first, scope)
+            for value in PROBE_VALUES:
+                result = try_kont(node.cont, value)
+                if isinstance(result, Prog):
+                    a, r = walk(result, scope)
+                    has_act, rec = has_act or a, rec | r
+            return has_act, rec
+
+        if isinstance(node, Par):
+            if node.left is node.right:
+                out.append(
+                    diag(
+                        "FCSL031",
+                        f"{name}: both par branches are the same program object; "
+                        "each branch must carry its own self contribution",
+                        subject=subject,
+                        obj=name,
+                    )
+                )
+            la, lr = walk(node.left, scope)
+            ra, rr = walk(node.right, scope)
+            return la or ra, lr | rr
+
+        if isinstance(node, HideProg):
+            installed = frozenset(node.concurroid.labels)
+            if scope is not None and installed & scope:
+                out.append(
+                    diag(
+                        "FCSL032",
+                        f"{name}: hide installs label(s) "
+                        f"{sorted(installed & scope)!r} already present in scope",
+                        subject=subject,
+                        obj=",".join(sorted(installed)),
+                        loc=loc_of(node.concurroid),
+                    )
+                )
+            inner = scope | installed if scope is not None else None
+            return walk(node.body, inner)
+
+        if isinstance(node, Call):
+            key = _call_key(node)
+            if key in stack:
+                return False, frozenset((key,))
+            if key in expanded:
+                return expanded[key]
+            try:
+                body = node.expand()
+            except Exception:  # noqa: BLE001 - unprobeable body: assume innocent
+                return True, frozenset()
+            stack.append(key)
+            try:
+                has_act, rec = walk(body, scope)
+            finally:
+                stack.pop()
+            if key in rec and not has_act and key not in flagged:
+                flagged.add(key)
+                label = getattr(node, "label", None) or "<call>"
+                out.append(
+                    diag(
+                        "FCSL030",
+                        f"{name}: recursive knot {label!r} performs no atomic "
+                        "action in any unfolding — guaranteed divergence",
+                        subject=subject,
+                        obj=label,
+                        loc=loc_of(node.fn),
+                    )
+                )
+            result = (has_act, rec - {key})
+            expanded[key] = result
+            return result
+
+        return True, frozenset()  # unknown node type: assume innocent
+
+    walk(prog, scope0)
+    return out
+
+
+def walk_act_calls(prog: Prog, *, max_nodes: int = MAX_NODES) -> list[ActCall]:
+    """Every ``ActCall`` node the walker can reach (helper for tests and
+    future rules)."""
+    found: list[ActCall] = []
+    budget = [max_nodes]
+    expanded: set[tuple] = set()
+
+    def walk(node: Prog) -> None:
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        if isinstance(node, ActCall):
+            found.append(node)
+        elif isinstance(node, Bind):
+            walk(node.first)
+            for value in PROBE_VALUES:
+                result = try_kont(node.cont, value)
+                if isinstance(result, Prog):
+                    walk(result)
+        elif isinstance(node, Par):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, HideProg):
+            walk(node.body)
+        elif isinstance(node, Call):
+            key = _call_key(node)
+            if key in expanded:
+                return
+            expanded.add(key)
+            try:
+                body = node.expand()
+            except Exception:  # noqa: BLE001
+                return
+            walk(body)
+
+    walk(prog)
+    return found

@@ -1,0 +1,166 @@
+"""Protocol rules (FCSL001-006): static checks on concurroid definitions.
+
+These rules inspect a concurroid against a *modelled* state family —
+usually a bounded protocol closure — without running the metatheory
+checker or the model checker.  ``exhaustive`` says whether the family is
+the full reachable set; reachability-dependent rules (dead transitions,
+inert entangled parts) only fire on exhaustive families, so a truncated
+closure can never produce a false positive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.concurroid import Concurroid, Transition
+from ..core.entangle import Entangled
+from ..core.state import State
+from .diagnostics import Diagnostic, diag, loc_of
+
+
+def _transition_loc(t: Transition):
+    return loc_of(t.requires) or loc_of(t.effect)
+
+
+def lint_concurroid(
+    conc: Concurroid,
+    states: Iterable[State],
+    *,
+    exhaustive: bool = True,
+    subject: str = "",
+) -> list[Diagnostic]:
+    """Run every protocol rule on one concurroid over one state family."""
+    states = list(states)
+    out: list[Diagnostic] = []
+    transitions: Sequence[Transition] = tuple(conc.transitions())
+
+    # FCSL003/FCSL004 — pure name hygiene, no states needed.
+    seen: dict[str, Transition] = {}
+    for t in transitions:
+        base = t.name.rsplit(".", 1)[-1]
+        if base == "idle":
+            out.append(
+                diag(
+                    "FCSL003",
+                    f"transition {t.name!r} shadows the implicit idle transition",
+                    subject=subject,
+                    obj=t.name,
+                    loc=_transition_loc(t),
+                )
+            )
+        if t.name in seen:
+            out.append(
+                diag(
+                    "FCSL004",
+                    f"transition name {t.name!r} declared more than once",
+                    subject=subject,
+                    obj=t.name,
+                    loc=_transition_loc(t),
+                )
+            )
+        else:
+            seen[t.name] = t
+
+    if not states:
+        return out
+
+    coherent = [s for s in states if _safe_coherent(conc, s)]
+
+    # FCSL001 — the protocol admits no modelled state at all.
+    if not coherent:
+        out.append(
+            diag(
+                "FCSL001",
+                f"coherence rejects all {len(states)} modelled state(s)",
+                subject=subject,
+                obj=type(conc).__name__,
+                loc=loc_of(conc.coherent),
+            )
+        )
+        return out  # everything below would be vacuous noise
+
+    # FCSL005 — a label the concurroid owns but no modelled state carries.
+    for lbl in conc.labels:
+        if not any(lbl in s.labels() for s in states):
+            out.append(
+                diag(
+                    "FCSL005",
+                    f"owned label {lbl!r} appears in no modelled state",
+                    subject=subject,
+                    obj=lbl,
+                    loc=loc_of(conc),
+                )
+            )
+
+    if not exhaustive:
+        return out
+
+    # FCSL002 — transitions enabled nowhere in the reachable family.
+    for t in transitions:
+        if not any(_enabled_somewhere(t, s) for s in coherent):
+            out.append(
+                diag(
+                    "FCSL002",
+                    f"transition {t.name!r} is enabled in no reachable state",
+                    subject=subject,
+                    obj=t.name,
+                    loc=_transition_loc(t),
+                )
+            )
+
+    # FCSL006 — an entangled component no transition ever changes.
+    if isinstance(conc, Entangled):
+        for part in conc.parts:
+            part_labels = tuple(part.labels)
+            if _part_inert(transitions, coherent, part_labels):
+                out.append(
+                    diag(
+                        "FCSL006",
+                        f"entangled part {type(part).__name__} "
+                        f"(labels {part_labels!r}) is never changed by any transition",
+                        subject=subject,
+                        obj=",".join(part_labels),
+                        loc=loc_of(part),
+                    )
+                )
+
+    return out
+
+
+def _safe_coherent(conc: Concurroid, state: State) -> bool:
+    try:
+        return bool(conc.coherent(state))
+    except Exception:  # noqa: BLE001 - a crashing predicate rejects the state
+        return False
+
+
+_NOTHING = object()
+
+
+def _enabled_somewhere(t: Transition, state: State) -> bool:
+    try:
+        # `None` is a legitimate parameter (the default family), so probe
+        # with a sentinel rather than truthiness.
+        return next(iter(t.enabled_params(state)), _NOTHING) is not _NOTHING
+    except Exception:  # noqa: BLE001 - a crashing guard enables nothing
+        return False
+
+
+def _part_inert(
+    transitions: Sequence[Transition],
+    states: Sequence[State],
+    part_labels: tuple[str, ...],
+) -> bool:
+    """True when no transition successor differs from its source at any of
+    ``part_labels`` across the whole family."""
+    for s in states:
+        for t in transitions:
+            try:
+                successors = list(t.successors(s))
+            except Exception:  # noqa: BLE001
+                continue
+            for __, succ in successors:
+                for lbl in part_labels:
+                    if lbl in s.labels() and s[lbl] != succ[lbl]:
+                        return False
+    return True

@@ -1,0 +1,87 @@
+"""The registry sweep: lint every case study of Table 1.
+
+``lint_target`` runs every rule module over one :class:`LintTarget`;
+``lint_registry`` sweeps all programs of
+:mod:`repro.structures.registry` (the sweep fails loudly if a registry
+row has no lint target, so adding a 12th case study forces a lint
+story for it too).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .actions import lint_action
+from .diagnostics import Diagnostic
+from .pcm_rules import lint_pcm
+from .programs import lint_prog
+from .protocol import lint_concurroid
+from .specs import lint_auto_assertions, lint_spec
+from .targets import TARGET_BUILDERS, LintTarget, target_for
+
+
+def lint_target(target: LintTarget) -> list[Diagnostic]:
+    """Every rule module over one target, concatenated."""
+    out: list[Diagnostic] = []
+    for conc in target.concurroids:
+        out.extend(
+            lint_concurroid(
+                conc,
+                target.states,
+                exhaustive=target.exhaustive,
+                subject=target.program,
+            )
+        )
+    for action, args_family in target.actions:
+        out.extend(
+            lint_action(action, target.states, args_family, subject=target.program)
+        )
+    for spec, spec_states in target.specs:
+        out.extend(lint_spec(spec, spec_states, subject=target.program))
+    out.extend(
+        lint_auto_assertions(target.assertions, target.states, subject=target.program)
+    )
+    for prog, name, ambient in target.programs:
+        out.extend(
+            lint_prog(
+                prog,
+                ambient_labels=ambient,
+                subject=target.program,
+                name=name,
+            )
+        )
+    for pcm in target.pcms:
+        out.extend(lint_pcm(pcm, subject=target.program))
+    return out
+
+
+def missing_targets() -> list[str]:
+    """Registry programs without a lint target (should always be empty)."""
+    from ..structures.registry import all_programs
+
+    return [info.name for info in all_programs() if info.name not in TARGET_BUILDERS]
+
+
+def lint_registry(
+    names: Iterable[str] | None = None,
+) -> list[Diagnostic]:
+    """Lint the selected (default: all) registry case studies."""
+    from ..structures.registry import all_programs
+
+    wanted: Sequence[str] | None = tuple(names) if names is not None else None
+    missing = missing_targets()
+    if missing:
+        raise KeyError(f"registry programs without lint targets: {missing}")
+    if wanted is not None:
+        known = {info.name for info in all_programs()}
+        unknown = sorted(set(wanted) - known)
+        if unknown:
+            raise KeyError(
+                f"unknown registry program(s) {unknown}; known: {sorted(known)}"
+            )
+    out: list[Diagnostic] = []
+    for info in all_programs():
+        if wanted is not None and info.name not in wanted:
+            continue
+        out.extend(lint_target(target_for(info.name)))
+    return out

@@ -1,0 +1,166 @@
+"""Spec and assertion rules (FCSL020-022).
+
+Two kinds of static evidence about specifications:
+
+* **Self-framedness** (FCSL020, and the verifier pre-pass): a predicate
+  is *observably self-framed* over a state family when its value depends
+  only on the ``self`` projection of the state — it is constant on every
+  class of states sharing all ``self`` components.  §7's lemma-overloading
+  automation (:mod:`repro.core.autostab`) discharges such assertions with
+  zero exploration, so an ``opaque``-shaped assertion that the probe finds
+  self-framed is being brute-forced needlessly.
+
+* **Bytecode inspection** (FCSL021/022): a ``Spec``'s postcondition binds
+  the pre-state snapshot (its third parameter, the logical variable of
+  the paper's binary postconditions); if the compiled body never loads
+  it, the logical variable is bound but unread.  Dually a precondition
+  that rejects every modelled state makes the whole triple vacuous.
+"""
+
+from __future__ import annotations
+
+import dis
+from types import CodeType
+from typing import Callable, Iterable, Sequence
+
+from ..core.autostab import AutoAssertion
+from ..core.spec import Spec
+from ..core.state import State
+from .diagnostics import Diagnostic, diag, loc_of
+
+# -- the self-framedness probe (shared with the pre-pass) -----------------------------------
+
+
+def self_projection(state: State) -> tuple:
+    """The ``self`` components of every label, as a hashable key."""
+    return tuple((lbl, state.self_of(lbl)) for lbl in sorted(state.labels()))
+
+
+def probe_self_framed(
+    predicate: Callable[[State], bool],
+    states: Iterable[State],
+) -> tuple[bool, int]:
+    """Is ``predicate`` constant on self-projection classes of ``states``?
+
+    Returns ``(framed, evidence)`` where ``evidence`` counts the states
+    that shared a class with an earlier state (0 evidence = vacuously
+    framed: every class was a singleton).  Any exception from the
+    predicate makes the probe fail closed.
+    """
+    classes: dict[tuple, bool] = {}
+    evidence = 0
+    for s in states:
+        try:
+            key = self_projection(s)
+            value = bool(predicate(s))
+        except Exception:  # noqa: BLE001 - fail closed
+            return False, 0
+        if key in classes:
+            evidence += 1
+            if classes[key] != value:
+                return False, evidence
+        else:
+            classes[key] = value
+    return True, evidence
+
+
+def lint_auto_assertions(
+    assertions: Sequence[AutoAssertion],
+    states: Iterable[State],
+    *,
+    subject: str = "",
+) -> list[Diagnostic]:
+    """FCSL020 — opaque assertions the probe finds self-framed."""
+    states = list(states)
+    out: list[Diagnostic] = []
+    for assertion in assertions:
+        if assertion.shape != "opaque":
+            continue
+        framed, evidence = probe_self_framed(assertion.predicate, states)
+        if framed and evidence > 0:
+            out.append(
+                diag(
+                    "FCSL020",
+                    f"assertion {assertion.name!r} is observably self-framed "
+                    f"({evidence} corroborating state(s)) but shaped 'opaque'; "
+                    "declare it with self_framed() for free stability",
+                    subject=subject,
+                    obj=assertion.name,
+                    loc=loc_of(assertion.predicate),
+                )
+            )
+    return out
+
+
+# -- bytecode-level spec rules ---------------------------------------------------------------
+
+_LOADS = frozenset(
+    {"LOAD_FAST", "LOAD_FAST_CHECK", "LOAD_FAST_AND_CLEAR", "LOAD_DEREF", "LOAD_CLASSDEREF"}
+)
+
+
+def _loads_name(code: CodeType, name: str) -> bool:
+    for ins in dis.get_instructions(code):
+        if ins.opname in _LOADS and ins.argval == name:
+            return True
+    for const in code.co_consts:  # closures defined inside the body
+        if isinstance(const, CodeType) and _loads_name(const, name):
+            return True
+    return False
+
+
+def param_is_read(fn: Callable, index: int) -> bool:
+    """Does ``fn`` ever read its ``index``-th positional parameter?
+
+    Conservative: anything not introspectable (builtins, partials,
+    ``*args`` signatures) counts as read.
+    """
+    code = getattr(fn, "__code__", None)
+    if code is None or code.co_argcount <= index:
+        return True
+    return _loads_name(code, code.co_varnames[index])
+
+
+def lint_spec(
+    spec: Spec,
+    states: Iterable[State] = (),
+    *,
+    subject: str = "",
+) -> list[Diagnostic]:
+    """FCSL021/FCSL022 on one spec (states optional, for FCSL022)."""
+    out: list[Diagnostic] = []
+
+    # FCSL021 — post(r, post_state, pre_state) never reads pre_state.
+    if not param_is_read(spec.post, 2):
+        out.append(
+            diag(
+                "FCSL021",
+                f"spec {spec.name!r}: the postcondition binds the pre-state "
+                "snapshot but never reads it",
+                subject=subject,
+                obj=spec.name,
+                loc=loc_of(spec.post),
+            )
+        )
+
+    # FCSL022 — the precondition holds in no modelled state.
+    states = list(states)
+    if states and not any(_safe_pre(spec, s) for s in states):
+        out.append(
+            diag(
+                "FCSL022",
+                f"spec {spec.name!r}: the precondition rejects all "
+                f"{len(states)} modelled state(s); the triple is vacuous",
+                subject=subject,
+                obj=spec.name,
+                loc=loc_of(spec.pre),
+            )
+        )
+    return out
+
+
+def _safe_pre(spec: Spec, state: State) -> bool:
+    try:
+        return bool(spec.pre(state))
+    except Exception:  # noqa: BLE001
+        return False

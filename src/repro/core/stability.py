@@ -74,7 +74,24 @@ def check_stability(
     max_issues: int = 5,
 ) -> list[StabilityIssue]:
     """Check ``assertion`` stable from every state in ``states`` where it
-    holds (and which is coherent)."""
+    holds (and which is coherent).
+
+    When a static pre-pass is installed (see
+    :mod:`repro.analysis.prepass`), it is consulted first: if it proves
+    the exploration must find nothing, the BFS is skipped entirely and
+    the (identical) empty verdict returned.
+    """
+    states = list(states)  # the pre-pass must not consume a caller's iterator
+    from .verify import get_prepass  # function-local: core must stay cycle-free
+
+    prepass = get_prepass()
+    if prepass is not None:
+        try:
+            if prepass.discharges(assertion, name, conc, states):
+                return []
+        except Exception:  # noqa: BLE001 - a broken pre-pass must never fail a proof
+            pass
+
     issues: list[StabilityIssue] = []
     for start in states:
         if not conc.coherent(start) or not assertion(start):

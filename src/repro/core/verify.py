@@ -28,6 +28,28 @@ from .world import World
 #: The obligation categories of Table 1.
 CATEGORIES = ("Libs", "Conc", "Acts", "Stab", "Main")
 
+# -- the static pre-pass hook -----------------------------------------------------------------
+#
+# When installed (see repro.analysis.prepass.static_prepass), the pre-pass
+# is consulted by dynamic checkers — currently check_stability — to skip
+# obligations whose outcome it can prove empty from lint facts.  The
+# registry is duck-typed (anything with ``discharges(assertion, name,
+# conc, states) -> bool`` and a ``skipped`` list) so core never imports
+# the analysis package.
+
+_PREPASS = None
+
+
+def set_prepass(prepass) -> None:
+    """Install (or, with ``None``, uninstall) the global static pre-pass."""
+    global _PREPASS
+    _PREPASS = prepass
+
+
+def get_prepass():
+    """The currently installed static pre-pass, or ``None``."""
+    return _PREPASS
+
 
 @dataclass
 class ObligationResult:
@@ -38,10 +60,18 @@ class ObligationResult:
     ok: bool
     issues: list[str] = field(default_factory=list)
     seconds: float = 0.0
+    #: dynamic sub-obligations skipped because the static pre-pass
+    #: proved their outcome empty
+    prepass_skips: int = 0
 
     def __str__(self) -> str:
         status = "ok" if self.ok else f"FAILED ({len(self.issues)} issue(s))"
-        return f"[{self.category}] {self.name}: {status} ({self.seconds:.3f}s)"
+        skipped = (
+            f" [{self.prepass_skips} statically discharged]"
+            if self.prepass_skips
+            else ""
+        )
+        return f"[{self.category}] {self.name}: {status} ({self.seconds:.3f}s){skipped}"
 
 
 @dataclass
@@ -58,6 +88,11 @@ class VerificationReport:
     @property
     def seconds(self) -> float:
         return sum(o.seconds for o in self.obligations)
+
+    @property
+    def prepass_skips(self) -> int:
+        """Dynamic obligations skipped via the static pre-pass."""
+        return sum(o.prepass_skips for o in self.obligations)
 
     def by_category(self) -> dict[str, list[ObligationResult]]:
         out: dict[str, list[ObligationResult]] = {c: [] for c in CATEGORIES}
@@ -80,7 +115,10 @@ class VerificationReport:
     def pretty(self) -> str:
         lines = [f"verification report: {self.program}"]
         lines.extend(f"  {o}" for o in self.obligations)
-        lines.append(f"  total: {self.seconds:.3f}s, ok={self.ok}")
+        summary = f"  total: {self.seconds:.3f}s, ok={self.ok}"
+        if self.prepass_skips:
+            summary += f", {self.prepass_skips} obligation(s) statically discharged"
+        lines.append(summary)
         return "\n".join(lines)
 
     def raise_on_failure(self) -> None:
@@ -109,13 +147,20 @@ class ReportBuilder:
     ) -> ObligationResult:
         if category not in CATEGORIES:
             raise ValueError(f"unknown obligation category {category!r}")
+        prepass = get_prepass()
+        skips_before = len(prepass.skipped) if prepass is not None else 0
         started = time.perf_counter()
         try:
             issues = [str(i) for i in fn()]
         except Exception as exc:  # noqa: BLE001 - recorded as a failed obligation
             issues = [f"raised {type(exc).__name__}: {exc}"]
         elapsed = time.perf_counter() - started
-        result = ObligationResult(name, category, not issues, issues, elapsed)
+        skips = (
+            len(prepass.skipped) - skips_before if prepass is not None else 0
+        )
+        result = ObligationResult(
+            name, category, not issues, issues, elapsed, prepass_skips=skips
+        )
         self._report.obligations.append(result)
         return result
 

@@ -133,8 +133,6 @@ def replay_figure2(seed: int | None = None) -> tuple[list[Stage], bool]:
 
 
 def _edge_target(x: str, side, edges: set, removed: set) -> str | None:
-    from ..graphs.reprs import Side
-
     h = figure2_graph()
     g = GraphView(h)
     addr = {v: k for k, v in NODE_NAMES.items()}[x]

@@ -31,6 +31,7 @@ class EvaluationReport:
     table2_text: str = ""
     figure2_text: str = ""
     figure5_text: str = ""
+    lint_text: str = ""
     issues: list[str] = field(default_factory=list)
     seconds: float = 0.0
 
@@ -58,6 +59,10 @@ class EvaluationReport:
             "Figure 5 (library dependencies)",
             "-" * 72,
             self.figure5_text,
+            "",
+            "fcsl-lint (static registry sweep)",
+            "-" * 72,
+            self.lint_text,
             "",
             "-" * 72,
             f"total wall time: {self.seconds:.1f}s",
@@ -89,6 +94,19 @@ def run_evaluation(*, verbose: bool = False) -> EvaluationReport:
     if not post_ok:
         report.issues.append("figure 2: span_root_tp failed")
     report.issues.extend(check_figure2_invariants(stages))
+
+    if verbose:
+        print("linting the registry (fcsl-lint sweep)...", flush=True)
+    from ..analysis import Severity, lint_registry, render_text, worst_severity
+
+    diagnostics = lint_registry()
+    report.lint_text = render_text(diagnostics)
+    worst = worst_severity(diagnostics)
+    if worst is not None and worst >= Severity.WARNING:
+        report.issues.append(
+            f"fcsl-lint found {sum(1 for d in diagnostics if d.severity >= Severity.WARNING)} "
+            "warning(s)/error(s) in the registry sweep"
+        )
 
     if verbose:
         print("deriving Figure 5...", flush=True)

@@ -137,11 +137,18 @@ def tree_size(tree: Tree, probe_values: tuple = (None,)) -> int:
     raise TypeError(f"unknown tree {tree!r}")
 
 
-def _try_kont(kont, value):
+def try_kont(kont, value):
+    """Apply an opaque continuation to a probe value; :data:`UNFINISHED`
+    if it rejects the value.  Shared by :func:`tree_size` and the static
+    program walker of :mod:`repro.analysis.programs`."""
     try:
         return kont(value)
     except Exception:  # noqa: BLE001 - probing with an ill-typed value
         return UNFINISHED
+
+
+#: Backwards-compatible private alias.
+_try_kont = try_kont
 
 
 # -- the independent tree evaluator -----------------------------------------------------------------

@@ -1,0 +1,414 @@
+"""Unit tests for the fcsl-lint rule modules (failure injection).
+
+Each test builds a deliberately broken protocol/action/spec/program/PCM
+around the toy counter of :mod:`tests.helpers` and asserts the expected
+FCSLxxx code fires — and that the healthy counter stays clean.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import pytest
+
+from repro.analysis import render_json, render_text, select, worst_severity
+from repro.analysis.actions import lint_action
+from repro.analysis.diagnostics import CODES, Diagnostic, Severity, diag
+from repro.analysis.heapshim import effective_log, instrument_state
+from repro.analysis.pcm_rules import lint_pcm
+from repro.analysis.programs import lint_prog, walk_act_calls
+from repro.analysis.protocol import lint_concurroid
+from repro.analysis.specs import (
+    lint_auto_assertions,
+    lint_spec,
+    param_is_read,
+    probe_self_framed,
+)
+from repro.analysis.targets import bounded_closure
+from repro.core.autostab import AutoAssertion
+from repro.core.concurroid import Transition
+from repro.core.prog import act, bind, ffix, hide, par, ret
+from repro.core.spec import Spec
+from repro.core.state import SubjState, state_of
+from repro.heap import EMPTY, pts, ptr
+from repro.pcm.base import PCM
+
+from .helpers import (
+    CELL,
+    LABEL,
+    BumpAction,
+    CounterConcurroid,
+    counter_state,
+)
+
+
+def codes(diagnostics: list[Diagnostic]) -> set[str]:
+    return {d.code for d in diagnostics}
+
+
+@pytest.fixture()
+def conc() -> CounterConcurroid:
+    return CounterConcurroid()
+
+
+@pytest.fixture()
+def states(conc):
+    family, exhaustive = bounded_closure(conc, [counter_state(conc)])
+    assert exhaustive
+    return family
+
+
+# -- diagnostics infrastructure ---------------------------------------------------------------
+
+
+def test_code_table_is_well_formed():
+    for code, (severity, slug, description) in CODES.items():
+        assert code.startswith("FCSL") and len(code) == 7
+        assert isinstance(severity, Severity)
+        assert slug and description
+
+def test_diag_rejects_unknown_code():
+    with pytest.raises(KeyError):
+        diag("FCSL999", "nope")
+
+
+def test_render_and_select():
+    ds = [diag("FCSL010", "escape", subject="t"), diag("FCSL021", "snap", subject="t")]
+    text = render_text(ds)
+    assert "FCSL010" in text and "1 error(s)" in text
+    payload = json.loads(render_json(ds))
+    assert payload["tool"] == "fcsl-lint"
+    assert payload["counts"]["error"] == 1
+    assert codes(select(ds, codes=["FCSL02"])) == {"FCSL021"}
+    assert worst_severity(ds) is Severity.ERROR
+    assert worst_severity([]) is None
+    assert render_text([]).startswith("fcsl-lint: clean")
+
+
+# -- protocol rules (FCSL001-005) -------------------------------------------------------------
+
+
+def test_healthy_counter_protocol_is_clean(conc, states):
+    assert lint_concurroid(conc, states) == []
+
+
+def test_fcsl001_vacuous_coherence(conc):
+    broken = state_of(**{LABEL: SubjState(0, pts(CELL, 5), 0)})  # 0+0 != 5
+    assert codes(lint_concurroid(conc, [broken])) == {"FCSL001"}
+
+
+def test_fcsl002_dead_transition(states):
+    class DeadTransitionCounter(CounterConcurroid):
+        def transitions(self):
+            dead = Transition(
+                f"{self.label}.never", lambda s, p: False, lambda s, p: s
+            )
+            return tuple(super().transitions()) + (dead,)
+
+    found = lint_concurroid(DeadTransitionCounter(), states)
+    assert codes(found) == {"FCSL002"}
+    # ... but a truncated family must not conclude deadness.
+    assert lint_concurroid(DeadTransitionCounter(), states, exhaustive=False) == []
+
+
+def test_fcsl003_reserved_idle_name(states):
+    class IdleShadowCounter(CounterConcurroid):
+        def transitions(self):
+            (bump,) = super().transitions()
+            return (Transition(f"{self.label}.idle", bump.requires, bump.effect),)
+
+    assert "FCSL003" in codes(lint_concurroid(IdleShadowCounter(), states))
+
+
+def test_fcsl004_duplicate_transition_name(states):
+    class DupCounter(CounterConcurroid):
+        def transitions(self):
+            (bump,) = super().transitions()
+            return (bump, Transition(bump.name, bump.requires, bump.effect))
+
+    assert "FCSL004" in codes(lint_concurroid(DupCounter(), states))
+
+
+def test_fcsl005_unmodelled_label(states):
+    class GhostLabelCounter(CounterConcurroid):
+        @property
+        def labels(self):
+            return (LABEL, "ghost")
+
+    assert "FCSL005" in codes(lint_concurroid(GhostLabelCounter(), states))
+
+
+# -- action rules (FCSL010-014) ---------------------------------------------------------------
+
+SPY = ptr(8)
+
+
+def spy_state(conc: CounterConcurroid):
+    """A counter state whose joint carries an extra out-of-footprint cell."""
+    return state_of(**{LABEL: SubjState(0, pts(CELL, 0).join(pts(SPY, 9)), 0)})
+
+
+def test_healthy_bump_action_is_clean(conc, states):
+    assert lint_action(BumpAction(conc), states) == []
+
+
+def test_fcsl010_footprint_escape_catches_noop_rewrite(conc):
+    class SpyRewriteAction(BumpAction):
+        name = "ct.spy"
+
+        def step(self, state, *args):
+            comp = state[LABEL]
+            # Rewrites SPY with its own value: invisible to a before/after
+            # diff, still an out-of-footprint write.
+            joint = comp.joint.update(SPY, comp.joint[SPY])
+            return 0, state.set(LABEL, SubjState(comp.self_, joint, comp.other))
+
+    found = lint_action(SpyRewriteAction(conc), [spy_state(conc)])
+    assert codes(found) == {"FCSL010"}
+    assert "p8" in found[0].message
+
+
+def test_fcsl010_exempts_discarded_views(conc):
+    class PeekAction(BumpAction):
+        name = "ct.peek"
+
+        def step(self, state, *args):
+            # Derives (and discards) a view via free(): heaps are
+            # persistent, so this is a read, not an escape.
+            state.joint_of(LABEL).free(SPY)
+            return 0, state
+
+    assert lint_action(PeekAction(conc), [spy_state(conc)]) == []
+
+
+def test_fcsl011_undeclared_allocation(conc, states):
+    fresh = ptr(9)
+
+    class GrowAction(BumpAction):
+        name = "ct.grow"
+
+        def step(self, state, *args):
+            comp = state[LABEL]
+            joint = comp.joint.join(pts(fresh, 1))
+            return 0, state.set(LABEL, SubjState(comp.self_, joint, comp.other))
+
+        def footprint(self, state, *args):
+            return frozenset((CELL, fresh))
+
+    assert "FCSL011" in codes(lint_action(GrowAction(conc), states))
+
+
+def test_fcsl012_undeclared_transition(conc, states):
+    class SneakyAction(BumpAction):
+        name = "ct.sneak"
+
+        def step(self, state, *args):
+            comp = state[LABEL]
+            # Bumps the cell without bumping self: matches neither idle
+            # nor the declared bump transition.
+            joint = comp.joint.update(CELL, comp.joint[CELL] + 1)
+            return 0, state.set(LABEL, SubjState(comp.self_, joint, comp.other))
+
+    found = lint_action(SneakyAction(conc), states)
+    assert "FCSL012" in codes(found)
+    assert "FCSL010" not in codes(found)
+
+
+def test_fcsl013_dead_action(conc, states):
+    class NeverAction(BumpAction):
+        name = "ct.never"
+
+        def safe(self, state, *args):
+            return False
+
+    assert codes(lint_action(NeverAction(conc), states)) == {"FCSL013"}
+
+
+def test_fcsl014_anonymous_action(conc, states):
+    from repro.core.action import Action
+
+    class Unnamed(Action):  # keeps the Action base default name
+        def safe(self, state, *args):
+            return False
+
+        def step(self, state, *args):
+            return None, state
+
+    assert "FCSL014" in codes(lint_action(Unnamed(conc), states))
+
+
+def test_heapshim_records_only_installed_mutations(conc):
+    rec, reads = instrument_state(spy_state(conc))
+    joint = rec.joint_of(LABEL)
+    joint.free(SPY)  # derived and discarded
+    post = rec.set(
+        LABEL,
+        SubjState(0, joint.update(CELL, 1), rec[LABEL].other),
+    )
+    log = effective_log(post, reads=reads)
+    assert log.touched == frozenset((CELL,))
+    # equality/hashing are inherited: instrumented states compare equal
+    assert rec == spy_state(conc)
+
+
+# -- spec rules (FCSL020-022) -----------------------------------------------------------------
+
+
+def test_param_is_read_bytecode_probe():
+    assert param_is_read(lambda r, s2, s1: s1 is not None, 2)
+    assert not param_is_read(lambda r, s2, s1: s2 is not None, 2)
+    # closures defined inside the body count
+    assert param_is_read(lambda r, s2, s1: (lambda: s1)(), 2)
+    # non-introspectable callables are conservatively "read"
+    assert param_is_read(len, 2)
+
+
+def test_fcsl021_unread_snapshot(states):
+    spec = Spec("snap", pre=lambda s: True, post=lambda r, s2, s1: True)
+    assert codes(lint_spec(spec, states)) == {"FCSL021"}
+
+
+def test_fcsl022_vacuous_precondition(states):
+    spec = Spec(
+        "vacuous", pre=lambda s: False, post=lambda r, s2, s1: s1 == s2
+    )
+    assert codes(lint_spec(spec, states)) == {"FCSL022"}
+
+
+def test_healthy_spec_is_clean(states):
+    spec = Spec(
+        "fine",
+        pre=lambda s: LABEL in s,
+        post=lambda r, s2, s1: s2.self_of(LABEL) >= s1.self_of(LABEL),
+    )
+    assert lint_spec(spec, states) == []
+
+
+def test_fcsl020_brute_forced_self_framed(states):
+    framed, evidence = probe_self_framed(lambda s: s.self_of(LABEL) == 0, states)
+    assert framed and evidence > 0
+    opaque = AutoAssertion(
+        name="my-contribution-zero",
+        predicate=lambda s: s.self_of(LABEL) == 0,
+        shape="opaque",
+    )
+    assert codes(lint_auto_assertions([opaque], states)) == {"FCSL020"}
+    declared = AutoAssertion(
+        name="my-contribution-zero",
+        predicate=opaque.predicate,
+        shape="self-framed",
+    )
+    assert lint_auto_assertions([declared], states) == []
+
+
+def test_probe_self_framed_rejects_joint_dependence(states):
+    framed, __ = probe_self_framed(
+        lambda s: s.joint_of(LABEL)[CELL] == 0, states
+    )
+    assert not framed
+
+
+# -- program rules (FCSL030-033) --------------------------------------------------------------
+
+
+def test_fcsl030_actless_loop():
+    spin = ffix(
+        lambda loop: lambda: bind(ret(None), lambda __: loop()),
+        label="noop-spin",
+    )
+    found = lint_prog(spin(), name="spin")
+    assert codes(found) == {"FCSL030"}
+    assert "noop-spin" in found[0].message
+
+
+def test_actful_loop_is_clean(conc):
+    bump = BumpAction(conc)
+    spin = ffix(
+        lambda loop: lambda: bind(act(bump), lambda v: ret(v) if v else loop()),
+        label="bump-spin",
+    )
+    assert lint_prog(spin(), ambient_labels={LABEL}, name="spin") == []
+
+
+def test_fcsl031_aliased_par(conc):
+    branch = act(BumpAction(conc))
+    assert "FCSL031" in codes(lint_prog(par(branch, branch), name="both"))
+    clean = par(act(BumpAction(conc)), act(BumpAction(conc)))
+    assert lint_prog(clean, name="both") == []
+
+
+def test_fcsl032_hide_collision(conc):
+    prog = hide(
+        conc,
+        donate_heap=lambda h: (h, EMPTY),
+        initial_self=0,
+        body=ret(None),
+    )
+    assert "FCSL032" in codes(
+        lint_prog(prog, ambient_labels={LABEL, "pv"}, name="h")
+    )
+    assert lint_prog(prog, ambient_labels={"pv"}, name="h") == []
+
+
+def test_fcsl033_unscoped_action(conc):
+    prog = act(BumpAction(conc))
+    found = lint_prog(prog, ambient_labels={"pv"}, name="loose")
+    assert codes(found) == {"FCSL033"}
+    # hide-installed labels extend the scope
+    hidden = hide(
+        conc, donate_heap=lambda h: (h, EMPTY), initial_self=0, body=prog
+    )
+    assert lint_prog(hidden, ambient_labels={"pv"}, name="scoped") == []
+
+
+def test_walk_act_calls_sees_through_binds(conc):
+    bump = BumpAction(conc)
+    read = BumpAction(conc)
+    read.name = "ct.read"
+    prog = bind(act(bump), lambda __: par(act(read), ret(None)))
+    # Continuations are probed with several values, so nodes behind the
+    # bind may be visited more than once — but every action is seen.
+    assert {c.action for c in walk_act_calls(prog)} == {bump, read}
+
+
+# -- PCM rules (FCSL040-044) ------------------------------------------------------------------
+
+
+class BrokenPCM(PCM):
+    """Subtraction: non-commutative, non-associative, unit only on the right."""
+
+    name = "broken"
+
+    @property
+    def unit(self) -> int:
+        return 0
+
+    def join(self, a: Any, b: Any) -> int:
+        return a - b
+
+    def valid(self, x: Any) -> bool:
+        return isinstance(x, int)
+
+    def sample(self):
+        return (0, 1, 2)
+
+
+class TinyPCM(BrokenPCM):
+    name = "tiny"
+
+    def sample(self):
+        return (0,)
+
+
+def test_fcsl040_non_commutative_join():
+    found = lint_pcm(BrokenPCM())
+    assert {"FCSL040", "FCSL041", "FCSL042"} <= codes(found)
+
+
+def test_fcsl043_degenerate_sample():
+    assert "FCSL043" in codes(lint_pcm(TinyPCM()))
+
+
+def test_healthy_pcm_is_clean(conc):
+    assert lint_pcm(conc.pcms()[LABEL]) == []
