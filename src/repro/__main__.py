@@ -1,15 +1,24 @@
-"""``python -m repro`` — evaluation and static-analysis entry points.
+"""``python -m repro`` — verification, evaluation and static-analysis
+entry points.
 
 * ``python -m repro`` / ``python -m repro eval`` — the full evaluation
-  (Tables 1-2, Figures 2 & 5, plus the fcsl-lint sweep).
+  (Tables 1-2, Figures 2 & 5, plus the fcsl-lint sweep); Table 1 runs
+  through the parallel cached engine.
+* ``python -m repro verify`` — the registry verification sweep alone:
+  parallel workers (``--jobs``), persistent obligation cache
+  (``--no-cache`` to disable), text or JSON output.
 * ``python -m repro lint`` — static analysis only: lint the registry's
   case studies.  Exits non-zero iff an error-severity diagnostic fires
   (``--strict`` tightens that to warnings).
+
+Unknown registry programs exit with code 2 and a message on stderr, for
+``lint`` and ``verify`` alike.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 
@@ -38,10 +47,64 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if worst is not None and worst >= threshold else 0
 
 
+def _run_verify(args: argparse.Namespace) -> int:
+    from .engine import run_sweep
+
+    try:
+        result = run_sweep(
+            names=args.program or None,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            prepass=not args.no_prepass,
+        )
+    except KeyError as exc:
+        print(f"repro-verify: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
+def _run_eval(args: argparse.Namespace) -> int:
+    from .eval.report import main as eval_main
+
+    return eval_main(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per case study, capped by "
+        "CPU count; 1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the persistent obligation cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="obligation cache location (default: .repro-cache/, or "
+        "$REPRO_CACHE_DIR)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="FCSL reproduction: evaluation and static analysis",
+        description="FCSL reproduction: verification, evaluation and static analysis",
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -70,16 +133,43 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero on warnings too, not only errors",
     )
 
-    sub.add_parser("eval", help="run the full evaluation (default)")
+    verify = sub.add_parser(
+        "verify", help="run the registry verification sweep (parallel, cached)"
+    )
+    verify.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output renderer (default: text)",
+    )
+    verify.add_argument(
+        "--program",
+        action="append",
+        metavar="NAME",
+        help="only verify this registry program (repeatable)",
+    )
+    verify.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="skip the fcsl-lint static pre-pass (pure dynamic checking)",
+    )
+    _add_engine_options(verify)
+
+    evaluate = sub.add_parser("eval", help="run the full evaluation (default)")
+    _add_engine_options(evaluate)
 
     args = parser.parse_args(argv)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "verify":
+        return _run_verify(args)
+    if args.command == "eval":
+        return _run_eval(args)
 
+    # Bare ``python -m repro``: the full evaluation with engine defaults.
     from .eval.report import main as eval_main
 
-    eval_main()  # raises SystemExit itself
-    return 0
+    return eval_main()
 
 
 if __name__ == "__main__":

@@ -82,12 +82,16 @@ def check_stability(
     the (identical) empty verdict returned.
     """
     states = list(states)  # the pre-pass must not consume a caller's iterator
-    from .verify import get_prepass  # function-local: core must stay cycle-free
+    # Function-local import: core must stay cycle-free.
+    from .verify import get_prepass, record_prepass_skip
 
     prepass = get_prepass()
     if prepass is not None:
         try:
             if prepass.discharges(assertion, name, conc, states):
+                # Attribute the skip to the innermost in-flight obligation
+                # (scoped, so nested/concurrent obligations stay honest).
+                record_prepass_skip(name)
                 return []
         except Exception:  # noqa: BLE001 - a broken pre-pass must never fail a proof
             pass

@@ -17,9 +17,10 @@ wall time and outcome; the Table 1 bench aggregates these reports.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from .errors import SpecViolation
 from .spec import Scenario, Spec, TripleOutcome
@@ -41,7 +42,11 @@ _PREPASS = None
 
 
 def set_prepass(prepass) -> None:
-    """Install (or, with ``None``, uninstall) the global static pre-pass."""
+    """Install (or, with ``None``, uninstall) the global static pre-pass.
+
+    The hook is *process*-global: the parallel engine
+    (:mod:`repro.engine`) installs one pre-pass per worker process.
+    """
     global _PREPASS
     _PREPASS = prepass
 
@@ -49,6 +54,31 @@ def set_prepass(prepass) -> None:
 def get_prepass():
     """The currently installed static pre-pass, or ``None``."""
     return _PREPASS
+
+
+# Skip attribution is scoped, not global: each in-flight obligation pushes
+# a frame, and a dynamic checker that skips work on the pre-pass's word
+# reports it to the *innermost* frame via record_prepass_skip.  Counting
+# ``len(prepass.skipped)`` deltas instead would misattribute skips for
+# nested obligations (the outer delta spans the inner's skips) and is a
+# data race under threads.  The stack is thread-local so concurrent
+# builders never see each other's frames.
+_SKIP_SCOPES = threading.local()
+
+
+def _skip_stack() -> list[list[str]]:
+    stack = getattr(_SKIP_SCOPES, "stack", None)
+    if stack is None:
+        stack = _SKIP_SCOPES.stack = []
+    return stack
+
+
+def record_prepass_skip(name: str) -> None:
+    """Attribute one statically discharged sub-obligation to the obligation
+    currently being timed (no-op outside any obligation scope)."""
+    stack = _skip_stack()
+    if stack:
+        stack[-1].append(name)
 
 
 @dataclass
@@ -72,6 +102,28 @@ class ObligationResult:
             else ""
         )
         return f"[{self.category}] {self.name}: {status} ({self.seconds:.3f}s){skipped}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable image (engine IPC and the obligation cache)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "ok": self.ok,
+            "issues": list(self.issues),
+            "seconds": self.seconds,
+            "prepass_skips": self.prepass_skips,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ObligationResult":
+        return cls(
+            name=str(data["name"]),
+            category=str(data["category"]),
+            ok=bool(data["ok"]),
+            issues=[str(i) for i in data.get("issues", [])],
+            seconds=float(data.get("seconds", 0.0)),
+            prepass_skips=int(data.get("prepass_skips", 0)),
+        )
 
 
 @dataclass
@@ -128,6 +180,26 @@ class VerificationReport:
             )
             raise SpecViolation(f"verification of {self.program} failed:\n{details}")
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable image; ``from_dict`` round-trips it exactly.
+
+        This is what crosses process boundaries in the parallel engine and
+        what the on-disk obligation cache replays on a fingerprint hit.
+        """
+        return {
+            "program": self.program,
+            "obligations": [o.to_dict() for o in self.obligations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "VerificationReport":
+        return cls(
+            program=str(data["program"]),
+            obligations=[
+                ObligationResult.from_dict(o) for o in data.get("obligations", [])
+            ],
+        )
+
 
 class ReportBuilder:
     """Accumulates obligations into a :class:`VerificationReport`.
@@ -147,17 +219,18 @@ class ReportBuilder:
     ) -> ObligationResult:
         if category not in CATEGORIES:
             raise ValueError(f"unknown obligation category {category!r}")
-        prepass = get_prepass()
-        skips_before = len(prepass.skipped) if prepass is not None else 0
+        scope: list[str] = []
+        stack = _skip_stack()
+        stack.append(scope)
         started = time.perf_counter()
         try:
             issues = [str(i) for i in fn()]
         except Exception as exc:  # noqa: BLE001 - recorded as a failed obligation
             issues = [f"raised {type(exc).__name__}: {exc}"]
+        finally:
+            stack.pop()
         elapsed = time.perf_counter() - started
-        skips = (
-            len(prepass.skipped) - skips_before if prepass is not None else 0
-        )
+        skips = len(scope)
         result = ObligationResult(
             name, category, not issues, issues, elapsed, prepass_skips=skips
         )
@@ -176,6 +249,7 @@ def check_triple(
     max_steps: int = 60,
     env_budget: int = 0,
     max_configs: int = 200_000,
+    domination: bool = True,
 ) -> list[TripleOutcome]:
     """Check ``spec`` on every scenario by exhaustive schedule exploration.
 
@@ -219,6 +293,7 @@ def check_triple(
             env_budget=env_budget,
             max_configs=max_configs,
             on_terminal=on_terminal,
+            domination=domination,
         )
         outcome.explored = result.explored
         outcome.terminals = len(result.terminals)

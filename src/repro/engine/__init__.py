@@ -1,0 +1,44 @@
+"""repro.engine — the parallel, cached verification engine.
+
+``python -m repro verify`` and the evaluation's Table 1 sweep both run
+through :func:`run_sweep`: registry case studies fan out across a
+process pool (one worker per case study, fcsl-lint pre-pass installed
+per worker) and verdicts are replayed from a persistent on-disk
+obligation cache keyed by content fingerprint.  See
+:mod:`repro.engine.engine` for the orchestration,
+:mod:`repro.engine.cache` for the cache layout and
+:mod:`repro.engine.fingerprint` for the invalidation rules.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ENV_CACHE_DIR, ObligationCache, default_cache_dir
+from .engine import (
+    ProgramOutcome,
+    SweepResult,
+    default_jobs,
+    resolve_programs,
+    run_sweep,
+    sweep,
+)
+from .fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    framework_digest,
+    module_source,
+    program_fingerprint,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE_DIR",
+    "ObligationCache",
+    "ProgramOutcome",
+    "SweepResult",
+    "default_cache_dir",
+    "default_jobs",
+    "framework_digest",
+    "module_source",
+    "program_fingerprint",
+    "resolve_programs",
+    "run_sweep",
+    "sweep",
+]

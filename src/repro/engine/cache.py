@@ -1,0 +1,109 @@
+"""The persistent obligation cache (``.repro-cache/``).
+
+One JSON file per case study, atomically replaced on store::
+
+    .repro-cache/
+        cas-lock.json
+        ticketed-lock.json
+        ...
+
+Each file holds the cache schema version, the program name, the content
+fingerprint it was computed under (see :mod:`repro.engine.fingerprint`),
+a creation timestamp, free-form metadata, and the serialized
+:class:`~repro.core.verify.VerificationReport`.  ``load`` returns the
+replayed report only when every one of schema, program and fingerprint
+matches; *any* problem — missing file, truncated JSON, wrong shape,
+stale fingerprint — degrades to a cache miss, never to an error: a
+corrupted cache must cost a recomputation, not a verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Any
+
+from ..core.verify import VerificationReport
+from .fingerprint import CACHE_SCHEMA_VERSION
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment override for the cache location.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR)
+
+
+def _slug(name: str) -> str:
+    """Filesystem-safe file stem for a registry program name."""
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-") or "program"
+
+
+class ObligationCache:
+    """Verdict store keyed by program name + content fingerprint."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, program: str) -> Path:
+        return self.root / f"{_slug(program)}.json"
+
+    def load(self, program: str, fingerprint: str) -> VerificationReport | None:
+        """The cached report, or ``None`` on any miss/mismatch/corruption."""
+        try:
+            data = json.loads(self.path_for(program).read_text(encoding="utf-8"))
+            if data.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            if data.get("program") != program:
+                return None
+            if data.get("fingerprint") != fingerprint:
+                return None
+            report = VerificationReport.from_dict(data["report"])
+            if report.program != program:
+                return None
+            return report
+        except Exception:  # noqa: BLE001 - corruption degrades to a miss
+            return None
+
+    def store(
+        self,
+        program: str,
+        fingerprint: str,
+        report: VerificationReport,
+        meta: dict[str, Any] | None = None,
+    ) -> Path:
+        """Write (atomically: temp file + ``os.replace``) and return the path.
+
+        Atomic replacement means a concurrent reader sees either the old
+        entry or the new one, never a torn file — required once workers
+        and warm reruns overlap.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(program)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "program": program,
+            "fingerprint": fingerprint,
+            "created": time.time(),
+            "meta": meta or {},
+            "report": report.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

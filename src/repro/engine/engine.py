@@ -1,0 +1,275 @@
+"""The parallel, cached verification engine behind ``repro verify``.
+
+The registry sweep (all eleven Table 1 case studies) historically ran
+strictly serially and recomputed every obligation from scratch on every
+run.  The engine fixes both ends:
+
+* **Parallelism** — pending case studies fan out across a
+  ``multiprocessing`` pool, one worker per case study (capped by
+  ``--jobs``).  The fcsl-lint static pre-pass is installed *per worker
+  process* by the pool initializer: the ``repro.core.verify`` pre-pass
+  hook is process-global, so each worker owns a private
+  :class:`~repro.analysis.prepass.StaticPrepass`, and skip attribution
+  inside ``ReportBuilder`` is scoped (see
+  :func:`repro.core.verify.record_prepass_skip`) rather than derived
+  from global counter deltas.
+* **Caching** — verdicts persist in an on-disk
+  :class:`~repro.engine.cache.ObligationCache` keyed by content
+  fingerprint; unchanged case studies are verdict-replayed instantly on
+  warm reruns.
+
+``--jobs 1`` degenerates to the fully serial in-process path (no pool is
+ever created), which doubles as the reference the parallel path is
+tested for equivalence against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..core.verify import CATEGORIES, VerificationReport, set_prepass
+from ..structures.registry import ProgramInfo, all_programs
+from .cache import ObligationCache
+from .fingerprint import program_fingerprint
+
+
+@dataclass
+class ProgramOutcome:
+    """One case study's sweep result."""
+
+    name: str
+    report: VerificationReport
+    fingerprint: str
+    #: True iff the report was replayed from the obligation cache.
+    cached: bool
+    #: Wall time this run spent obtaining the report (verification wall
+    #: time on a miss, replay time on a hit) — distinct from
+    #: ``report.seconds``, the summed per-obligation checking time.
+    seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "program": self.name,
+            "ok": self.report.ok,
+            "cached": self.cached,
+            "fingerprint": self.fingerprint,
+            "seconds": self.seconds,
+            "report_seconds": self.report.seconds,
+            "obligations": self.report.counts_by_category(),
+            "prepass_skips": self.report.prepass_skips,
+            "failures": [o.to_dict() for o in self.report.failures()],
+        }
+
+
+@dataclass
+class SweepResult:
+    """The whole sweep: per-program outcomes plus run metadata."""
+
+    outcomes: list[ProgramOutcome] = field(default_factory=list)
+    jobs: int = 1
+    seconds: float = 0.0
+    cache_dir: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return all(o.report.ok for o in self.outcomes)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    def outcome(self, name: str) -> ProgramOutcome:
+        for o in self.outcomes:
+            if o.name == name:
+                return o
+        raise KeyError(f"no outcome for program {name!r}")
+
+    def reports(self) -> dict[str, VerificationReport]:
+        return {o.name: o.report for o in self.outcomes}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "jobs": self.jobs,
+            "seconds": self.seconds,
+            "cache_dir": self.cache_dir,
+            "cache_hits": self.hits,
+            "programs": [o.to_dict() for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        header = (
+            f"{'Program':<15} {'ok':>3} "
+            + " ".join(f"{c:>5}" for c in CATEGORIES)
+            + f" {'Wall':>8} {'Cache':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for o in self.outcomes:
+            counts = o.report.counts_by_category()
+            lines.append(
+                f"{o.name:<15} {'ok' if o.report.ok else 'NO':>3} "
+                + " ".join(f"{counts.get(c, 0):>5}" for c in CATEGORIES)
+                + f" {o.seconds:>7.2f}s {'hit' if o.cached else 'miss':>6}"
+            )
+        lines.append(
+            f"{len(self.outcomes)} program(s), {self.hits} cache hit(s), "
+            f"jobs={self.jobs}, wall {self.seconds:.2f}s"
+        )
+        for o in self.outcomes:
+            for failure in o.report.failures():
+                lines.append(f"  FAILED {o.name} :: {failure}")
+        return "\n".join(lines)
+
+
+def resolve_programs(names: Iterable[str] | None = None) -> tuple[ProgramInfo, ...]:
+    """Registry rows for ``names`` (default: all), in registry order.
+
+    Unknown names raise ``KeyError`` with the known names listed, exactly
+    like the lint runner — the CLI maps this to a stderr message and
+    exit code 2.
+    """
+    programs = all_programs()
+    if names is None:
+        return programs
+    wanted = tuple(names)
+    known = {info.name for info in programs}
+    unknown = sorted(set(wanted) - known)
+    if unknown:
+        raise KeyError(
+            f"unknown registry program(s) {unknown}; known: {sorted(known)}"
+        )
+    return tuple(info for info in programs if info.name in set(wanted))
+
+
+# -- worker-side pieces (module-level: they must survive pickling) -------------
+
+
+def _install_worker_prepass() -> None:
+    """Pool initializer: give this worker process its own static pre-pass.
+
+    The pre-pass hook and its fact store are process-global, so sharing
+    one across workers is impossible (and the point: each worker amortizes
+    model sweeps over the obligations *it* runs, with no cross-process
+    races on the ``skipped`` list)."""
+    from ..analysis.prepass import StaticPrepass
+
+    set_prepass(StaticPrepass())
+
+
+def _uninstall_worker_prepass() -> None:
+    """Pool initializer for ``prepass=False``: under a ``fork`` start
+    method a worker inherits whatever pre-pass the parent had installed —
+    clear it so "no pre-pass" means what it says."""
+    set_prepass(None)
+
+
+def _verify_one(info: ProgramInfo) -> dict[str, Any]:
+    """Run one case study's verifier; returns a picklable payload."""
+    started = time.perf_counter()
+    report = info.run_verifier()
+    return {
+        "seconds": time.perf_counter() - started,
+        "report": report.to_dict(),
+    }
+
+
+def _run_serial(
+    pending: Sequence[ProgramInfo], *, prepass: bool
+) -> list[dict[str, Any]]:
+    if not prepass:
+        return [_verify_one(info) for info in pending]
+    from ..analysis.prepass import static_prepass
+
+    with static_prepass():
+        return [_verify_one(info) for info in pending]
+
+
+def default_jobs(pending: int) -> int:
+    """One worker per pending case study, capped by the CPU count."""
+    return max(1, min(pending, os.cpu_count() or 1))
+
+
+def sweep(
+    programs: Sequence[ProgramInfo],
+    *,
+    jobs: int | None = None,
+    cache: bool = True,
+    cache_dir: str | os.PathLike | None = None,
+    prepass: bool = True,
+) -> SweepResult:
+    """Verify ``programs``, replaying cached verdicts and fanning the rest
+    out over ``jobs`` worker processes (``None`` = one per case study,
+    capped by CPU count; ``1`` = serial in-process, no pool)."""
+    started = time.perf_counter()
+    store = ObligationCache(cache_dir) if cache else None
+    outcomes: dict[str, ProgramOutcome] = {}
+    pending: list[tuple[ProgramInfo, str]] = []
+
+    for info in programs:
+        fingerprint = program_fingerprint(info)
+        if store is not None:
+            t0 = time.perf_counter()
+            hit = store.load(info.name, fingerprint)
+            if hit is not None:
+                outcomes[info.name] = ProgramOutcome(
+                    info.name, hit, fingerprint, True, time.perf_counter() - t0
+                )
+                continue
+        pending.append((info, fingerprint))
+
+    jobs = default_jobs(len(pending)) if jobs is None else max(1, jobs)
+    jobs = min(jobs, len(pending)) if pending else 1
+
+    if pending:
+        infos = [info for info, __ in pending]
+        if jobs == 1:
+            payloads = _run_serial(infos, prepass=prepass)
+        else:
+            with multiprocessing.Pool(
+                processes=jobs,
+                initializer=(
+                    _install_worker_prepass if prepass else _uninstall_worker_prepass
+                ),
+            ) as pool:
+                payloads = pool.map(_verify_one, infos)
+        for (info, fingerprint), payload in zip(pending, payloads):
+            report = VerificationReport.from_dict(payload["report"])
+            outcomes[info.name] = ProgramOutcome(
+                info.name, report, fingerprint, False, payload["seconds"]
+            )
+            if store is not None:
+                store.store(
+                    info.name,
+                    fingerprint,
+                    report,
+                    meta={"seconds": payload["seconds"], "jobs": jobs},
+                )
+
+    return SweepResult(
+        outcomes=[outcomes[info.name] for info in programs],
+        jobs=jobs,
+        seconds=time.perf_counter() - started,
+        cache_dir=str(store.root) if store is not None else None,
+    )
+
+
+def run_sweep(
+    names: Iterable[str] | None = None,
+    *,
+    jobs: int | None = None,
+    cache: bool = True,
+    cache_dir: str | os.PathLike | None = None,
+    prepass: bool = True,
+) -> SweepResult:
+    """Name-based front door: resolve registry rows, then :func:`sweep`."""
+    return sweep(
+        resolve_programs(names),
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        prepass=prepass,
+    )

@@ -1,0 +1,87 @@
+"""Content fingerprints keying the persistent obligation cache.
+
+A cache entry may be replayed only while its verdict is provably the one
+a fresh run would produce.  The fingerprint therefore covers everything
+a verdict depends on:
+
+* the **source text** of every module listed in the program's
+  :class:`~repro.structures.registry.ProgramInfo` (editing a case study
+  invalidates exactly that case study);
+* the **verifier kwargs** (the same modules verified under a different
+  interference budget must never share an entry), canonicalized with
+  :func:`repro.semantics.interp.stable_digest` — *not* with
+  :func:`~repro.semantics.interp.fingerprint`/``position_key``, whose
+  components embed ``id()``s and differ between processes;
+* a **framework digest** over the checker itself (``repro`` minus the
+  case studies, the evaluation harness and this engine), so changing the
+  semantics or a proof rule invalidates every entry;
+* the cache **schema version**.
+
+Sources are read from module *files* (``importlib.util.find_spec``), not
+``inspect.getsource``, so fingerprinting neither imports the case study
+nor trips over ``linecache`` staleness after an edit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+from functools import lru_cache
+from pathlib import Path
+
+from ..semantics.interp import stable_digest
+from ..structures.registry import ProgramInfo
+
+#: Bump to invalidate every existing cache entry (layout changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Top-level ``repro`` subpackages excluded from the framework digest:
+#: case studies are fingerprinted per program, and the evaluation /
+#: engine layers only orchestrate (they cannot change a verdict).
+_NON_FRAMEWORK = ("structures", "eval", "engine")
+
+
+def module_source(dotted: str) -> str:
+    """The source text of one module, read from its file without
+    importing it."""
+    spec = importlib.util.find_spec(dotted)
+    if spec is None or spec.origin is None or not Path(spec.origin).is_file():
+        raise ModuleNotFoundError(f"cannot locate source for {dotted!r}")
+    return Path(spec.origin).read_text(encoding="utf-8")
+
+
+@lru_cache(maxsize=1)
+def framework_digest() -> str:
+    """Hex SHA-256 over every framework source file (sorted walk)."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        if rel.parts and rel.parts[0] in _NON_FRAMEWORK:
+            continue
+        digest.update(str(rel).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def program_fingerprint(
+    info: ProgramInfo, extra_kwargs: dict | None = None
+) -> str:
+    """The cache key for one registry program (hex SHA-256)."""
+    kwargs = dict(info.verifier_kwargs)
+    if extra_kwargs:
+        kwargs.update(extra_kwargs)
+    digest = hashlib.sha256()
+    digest.update(f"schema:{CACHE_SCHEMA_VERSION}\n".encode())
+    digest.update(f"framework:{framework_digest()}\n".encode())
+    digest.update(f"kwargs:{stable_digest(tuple(sorted(kwargs.items())))}\n".encode())
+    for dotted in info.modules:
+        source = module_source(dotted)
+        digest.update(f"module:{dotted}\n".encode())
+        digest.update(source.encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()

@@ -71,16 +71,43 @@ class EvaluationReport:
         return "\n".join(parts)
 
 
-def run_evaluation(*, verbose: bool = False) -> EvaluationReport:
-    """Regenerate everything (several minutes: runs all 11 verifications)."""
+def run_evaluation(
+    *,
+    verbose: bool = False,
+    jobs: int | None = 1,
+    cache: bool = False,
+    cache_dir: str | None = None,
+) -> EvaluationReport:
+    """Regenerate everything (runs all 11 verifications through the engine).
+
+    The Table 1 sweep goes through :func:`repro.engine.run_sweep`:
+    ``jobs`` fans the case studies out across worker processes (``1``,
+    the default here, is the serial in-process path; ``None`` means one
+    worker per case study) and ``cache`` replays verdicts from the
+    persistent obligation cache.  The CLI (``python -m repro eval``)
+    defaults to parallel + cached; direct callers — the tests — default
+    to serial + uncached for determinism.
+    """
+    from ..engine import run_sweep
+
     report = EvaluationReport()
     started = time.perf_counter()
 
     if verbose:
-        print("building Table 1 (verifying all 11 programs)...", flush=True)
-    rows = build_table1()
+        print(
+            "building Table 1 (verifying all 11 programs via the engine)...",
+            flush=True,
+        )
+    sweep = run_sweep(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    rows = build_table1(reports=sweep.reports())
     report.table1_text = render_table1(rows)
     report.issues.extend(check_shape(rows))
+    if verbose and sweep.hits:
+        print(
+            f"  ({sweep.hits} of {len(sweep.outcomes)} verdicts replayed "
+            "from the obligation cache)",
+            flush=True,
+        )
 
     if verbose:
         print("building Table 2...", flush=True)
@@ -121,16 +148,25 @@ def run_evaluation(*, verbose: bool = False) -> EvaluationReport:
     return report
 
 
-def main() -> None:
-    report = run_evaluation(verbose=True)
+def main(
+    *,
+    jobs: int | None = None,
+    cache: bool = True,
+    cache_dir: str | None = None,
+) -> int:
+    """CLI body: returns the exit code instead of raising ``SystemExit``
+    (callers — ``python -m repro`` — own the process exit)."""
+    report = run_evaluation(
+        verbose=True, jobs=jobs, cache=cache, cache_dir=cache_dir
+    )
     print()
     print(report.render())
     print()
     areas = repository_loc()
     print(f"repository size: {areas} "
           f"(framework {framework_loc()}, case studies {structures_loc()})")
-    raise SystemExit(0 if report.ok else 1)
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -63,21 +63,37 @@ class Table1Row:
         }
 
 
-def run_row(info: ProgramInfo) -> Table1Row:
-    """Verify one program and measure its row."""
-    report: VerificationReport = info.verifier()
-    counts = report.counts_by_category()
+def row_from_report(info: ProgramInfo, report: VerificationReport) -> Table1Row:
+    """Measure one row from an already-obtained verification report."""
     return Table1Row(
         name=info.name,
-        obligations=counts,
+        obligations=report.counts_by_category(),
         loc=modules_loc(info.modules),
         seconds=report.seconds,
         ok=report.ok,
     )
 
 
-def build_table1(programs: tuple[ProgramInfo, ...] | None = None) -> list[Table1Row]:
-    return [run_row(info) for info in (programs or all_programs())]
+def run_row(info: ProgramInfo) -> Table1Row:
+    """Verify one program and measure its row."""
+    return row_from_report(info, info.run_verifier())
+
+
+def build_table1(
+    programs: tuple[ProgramInfo, ...] | None = None,
+    *,
+    reports: dict[str, VerificationReport] | None = None,
+) -> list[Table1Row]:
+    """Measure every row.
+
+    With ``reports`` (program name -> report, e.g. from an engine sweep)
+    the rows are derived without re-running any verifier; otherwise each
+    verifier runs serially in-process, as before.
+    """
+    infos = programs or all_programs()
+    if reports is not None:
+        return [row_from_report(info, reports[info.name]) for info in infos]
+    return [run_row(info) for info in infos]
 
 
 def check_shape(rows: list[Table1Row]) -> list[str]:

@@ -72,6 +72,7 @@ def explore(
     max_configs: int = 200_000,
     on_terminal: Callable[[Config], str | None] | None = None,
     dedupe: bool = True,
+    domination: bool = True,
 ) -> ExplorationResult:
     """Exhaustive DFS over schedules (and interference, up to ``env_budget``).
 
@@ -82,34 +83,58 @@ def explore(
     :meth:`~repro.semantics.interp.Config.position_key` — shared state plus
     structural fingerprints of every thread's continuation — collapsing the
     schedule *tree* into the reachable state *graph*.  The memo keeps a
-    reference to one representative config per key so fingerprint ids stay
-    valid.
+    reference to every recorded config so fingerprint ids stay valid.
+
+    With ``domination`` (default) a position is pruned when any earlier
+    visit to the same position key arrived having spent no more
+    interference budget *and* no more steps: everything reachable from the
+    new arrival was already reachable from that visit.  Keying on the
+    exact ``env_used`` instead (``domination=False``, the historical
+    behaviour) re-expands positions that a cheaper earlier visit fully
+    covered; it is kept for A/B measurement and regression tests.
     """
     result = ExplorationResult()
     stack: list[tuple[Config, int]] = [(config, 0)]
-    seen: dict[tuple, Config] = {}
+    #: position key -> recorded (env_used, steps, config) visits.  Configs
+    #: are kept alive so id-based fingerprint components are never recycled.
+    seen: dict[tuple, list[tuple[int, int, Config]]] = {}
     while stack:
         current, env_used = stack.pop()
         if dedupe:
             try:
-                key = (env_used, current.position_key())
+                pos = current.position_key()
             except Exception:  # noqa: BLE001 - unfingerprintable: fall back
-                key = None
-            if key is not None:
-                # Revisit only if we arrived with more remaining depth
-                # (fewer steps) than any previous visit.  Spin loops are
-                # pruned here: a futile retry reproduces its own position
-                # key and is never expanded twice.
-                prior = seen.get(key)
-                if prior is not None and prior.steps <= current.steps:
-                    continue
-                seen[key] = current
-        result.explored += 1
-        if result.explored > max_configs:
+                pos = None
+            if pos is not None:
+                visits = seen.setdefault(pos, [])
+                if domination:
+                    # Prune iff a prior visit dominates: it had at least as
+                    # much interference budget and step depth remaining.
+                    # Spin loops are pruned here too: a futile retry
+                    # reproduces its own position key at a later step.
+                    if any(
+                        e <= env_used and s <= current.steps
+                        for e, s, __ in visits
+                    ):
+                        continue
+                else:
+                    # Exact-budget keying: revisit only if we arrived with
+                    # more remaining depth (fewer steps) than any previous
+                    # visit at the same env_used.
+                    if any(
+                        e == env_used and s <= current.steps
+                        for e, s, __ in visits
+                    ):
+                        continue
+                visits.append((env_used, current.steps, current))
+        if result.explored >= max_configs:
+            # Checked *before* counting: the bound means "expand at most
+            # max_configs configurations", not max_configs + 1.
             result.violations.append(
                 Violation("resource", f"exceeded max_configs={max_configs}")
             )
             return result
+        result.explored += 1
         if current.done:
             result.terminals.append(current)
             if on_terminal is not None:

@@ -106,6 +106,112 @@ def fingerprint(obj: Any, _seen: frozenset = frozenset()) -> Hashable:
         return ("id", id(obj))
 
 
+def stable_fingerprint(obj: Any, _seen: frozenset = frozenset()) -> Hashable:
+    """A *process-stable* structural fingerprint.
+
+    :func:`fingerprint` (and hence :meth:`Config.position_key`) trades
+    stability for discrimination: unrecognised objects fall back to
+    ``id()``, which is only meaningful while the fingerprinted object is
+    alive **in this process**.  That is exactly right for the explorer's
+    in-memory memo table and exactly wrong for anything persisted or
+    compared across processes — cache metadata, worker round-trips,
+    content-addressed keys.
+
+    This variant never embeds an ``id``: containers are fingerprinted
+    structurally (sets and dicts in sorted order), functions by module and
+    qualified name plus captured cells, and everything else by its type
+    and ``repr`` (with default ``object.__repr__`` addresses reduced to
+    the type name).  Equal values in different processes therefore
+    produce equal fingerprints.  The price is coarser discrimination than
+    :func:`fingerprint` — never use it for the explorer's memoization.
+    """
+    if obj is None or isinstance(obj, (int, str, bool, float, bytes)):
+        return obj
+    if id(obj) in _seen:
+        return ("cycle",)
+    _seen = _seen | {id(obj)}
+    if isinstance(obj, (tuple, list)):
+        return (
+            type(obj).__name__,
+            tuple(stable_fingerprint(x, _seen) for x in obj),
+        )
+    if isinstance(obj, (set, frozenset)):
+        return (
+            "set",
+            tuple(sorted(repr(stable_fingerprint(x, _seen)) for x in obj)),
+        )
+    if isinstance(obj, dict):
+        return (
+            "dict",
+            tuple(
+                sorted(
+                    (repr(stable_fingerprint(k, _seen)), stable_fingerprint(v, _seen))
+                    for k, v in obj.items()
+                )
+            ),
+        )
+    if isinstance(obj, Ret):
+        return ("Ret", stable_fingerprint(obj.value, _seen))
+    if isinstance(obj, Bind):
+        return (
+            "Bind",
+            stable_fingerprint(obj.first, _seen),
+            stable_fingerprint(obj.cont, _seen),
+        )
+    if isinstance(obj, ActCall):
+        return (
+            "Act",
+            stable_fingerprint(obj.action, _seen),
+            stable_fingerprint(obj.args, _seen),
+        )
+    if isinstance(obj, Par):
+        return (
+            "Par",
+            stable_fingerprint(obj.left, _seen),
+            stable_fingerprint(obj.right, _seen),
+        )
+    if isinstance(obj, Call):
+        return (
+            "Call",
+            stable_fingerprint(obj.fn, _seen),
+            stable_fingerprint(obj.args, _seen),
+        )
+    import types
+
+    if isinstance(obj, types.MethodType):
+        return (
+            "method",
+            obj.__func__.__module__,
+            obj.__func__.__qualname__,
+            stable_fingerprint(obj.__self__, _seen),
+        )
+    if isinstance(obj, types.FunctionType):
+        cells = []
+        if obj.__closure__:
+            for c in obj.__closure__:
+                try:
+                    cells.append(stable_fingerprint(c.cell_contents, _seen))
+                except ValueError:  # empty cell (not yet bound)
+                    cells.append(("empty-cell",))
+        return ("fn", obj.__module__, obj.__qualname__, tuple(cells))
+    if isinstance(obj, types.BuiltinFunctionType):
+        return ("builtin", obj.__module__, obj.__qualname__)
+    cls = type(obj)
+    text = repr(obj)
+    if " at 0x" in text:  # default object.__repr__ embeds an address
+        text = f"<{cls.__module__}.{cls.__qualname__}>"
+    return (cls.__module__, cls.__qualname__, text)
+
+
+def stable_digest(obj: Any) -> str:
+    """Hex SHA-256 of an object's :func:`stable_fingerprint` — a compact
+    content address that is identical across processes and interpreter
+    runs (used by the obligation cache to key verifier kwargs)."""
+    import hashlib
+
+    return hashlib.sha256(repr(stable_fingerprint(obj)).encode()).hexdigest()
+
+
 class _UnhideKont:
     """Marker continuation delimiting a ``hide`` scope on the kont stack."""
 
@@ -280,6 +386,39 @@ class Config:
             tuple(sorted(self.joints.items())),
             tuple(sorted(self.env_selfs.items())),
             threads,
+        )
+
+    def stable_digest(self) -> str:
+        """A process-stable content digest of the whole configuration.
+
+        Unlike :meth:`position_key`, whose fingerprints may embed ``id``s
+        (valid only while this config is alive in this process), the
+        digest is built from :func:`stable_fingerprint` and is safe to
+        persist or compare across worker processes — the engine records
+        it as cache metadata.  Coarser than ``position_key``: two configs
+        with equal digests are structurally equal, but distinct action
+        *instances* with equal reprs are not distinguished.
+        """
+        return stable_digest(
+            (
+                tuple(sorted(self.joints.items())),
+                tuple(sorted(self.env_selfs.items())),
+                tuple(
+                    (
+                        tid,
+                        th.current,
+                        tuple(th.konts),
+                        tuple(sorted(th.selfs.items())),
+                        tuple(sorted(th.visible)),
+                        th.parent,
+                        th.children,
+                        tuple(sorted(th.results.items())),
+                        th.done,
+                        th.result,
+                    )
+                    for tid, th in sorted(self.threads.items())
+                ),
+            )
         )
 
     def pending_action(self, tid: int) -> tuple | None:

@@ -16,7 +16,7 @@ from the code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from ..core.verify import VerificationReport
@@ -52,10 +52,19 @@ class ProgramInfo:
     implements: tuple[str, ...] = ()
     #: Free-form notes (deviations from the paper recorded here).
     notes: str = ""
+    #: Keyword arguments the engine passes to ``verifier`` (and folds into
+    #: the obligation-cache fingerprint: verifying the same modules with
+    #: different budgets must never share a cache entry).  Empty means
+    #: "the verifier's own defaults".
+    verifier_kwargs: Mapping[str, object] = field(default_factory=dict)
 
     def uses(self, column: str) -> str:
         """"" | "yes" | "lock-interface" for a Table 2 column."""
         return self.concurroids.get(column, "")
+
+    def run_verifier(self) -> VerificationReport:
+        """Invoke the verification entry point with this row's kwargs."""
+        return self.verifier(**dict(self.verifier_kwargs))
 
 
 def _lock_marks() -> dict[str, str]:

@@ -87,6 +87,51 @@ class TestExhaustive:
         assert not result.terminals  # it genuinely never finishes
         assert not result.violations
 
+    def test_max_configs_counts_exactly(self, world, conc):
+        # Regression (off-by-one): the guard used to fire only *after*
+        # expanding a (max_configs+1)-th configuration.
+        prog = par(act(BumpAction(conc)), act(BumpAction(conc)))
+        full = explore(initial_config(world, counter_state(conc), prog))
+        total = full.explored
+        assert total > 2
+
+        # A budget exactly covering the search space is not a violation...
+        exact = explore(
+            initial_config(world, counter_state(conc), prog), max_configs=total
+        )
+        assert exact.ok
+        assert exact.explored == total
+
+        # ...one short of it is, and never explores past the bound.
+        short = explore(
+            initial_config(world, counter_state(conc), prog),
+            max_configs=total - 1,
+        )
+        assert any(v.kind == "resource" for v in short.violations)
+        assert short.explored == total - 1
+
+    def test_domination_dedupe_equivalent_and_never_worse(self, world, conc):
+        # On the toy counter every env move changes the shared cell, so a
+        # position is never revisited at a different env_used and both
+        # dedupe modes explore the same graph — domination must agree
+        # exactly here (the strict shrink is exercised on the CAS-lock
+        # case study below, whose env can return to a prior position).
+        prog = par(act(BumpAction(conc)), act(ReadCounterAction(conc)))
+
+        def run(domination):
+            return explore(
+                initial_config(world, counter_state(conc), prog),
+                env_budget=2,
+                domination=domination,
+            )
+
+        exact, dominated = run(False), run(True)
+        assert dominated.explored <= exact.explored
+        assert exact.ok and dominated.ok
+        assert {t.result for t in dominated.terminals} == {
+            t.result for t in exact.terminals
+        }
+
     def test_repeated_identical_actions_terminate(self, conc):
         # Regression (found by hypothesis): two *occurrences* of the same
         # pure action in sequence must still reach the terminal — an
@@ -97,6 +142,51 @@ class TestExhaustive:
         result = explore(initial_config(world, counter_state(conc), prog))
         assert result.ok
         assert [t.result for t in result.terminals] == [(0, 0)]
+
+
+class TestDominationOnCaseStudy:
+    """The dedupe fix must pay off on real registry machinery."""
+
+    def test_cas_lock_explores_fewer_configs_same_verdict(self):
+        from repro.structures.locks.verify import (
+            bump_client,
+            lock_initial_state,
+            lock_world,
+            make_counter_cas_lock,
+        )
+
+        lock = make_counter_cas_lock()
+        world = lock_world(lock)
+        spec = Spec(
+            "par-bump",
+            pre=lambda s: lock.quiescent(s),
+            post=lambda r, s2, s1: (
+                lock.quiescent(s2)
+                and lock.client_self(s2) == lock.client_self(s1) + 2
+            ),
+        )
+        scenarios = [
+            Scenario(
+                lock_initial_state(lock, 0, 0),
+                par(bump_client(lock), bump_client(lock)),
+                label="par-bump",
+            )
+        ]
+
+        def run(domination):
+            return check_triple(
+                world,
+                spec,
+                scenarios,
+                max_steps=60,
+                env_budget=2,
+                domination=domination,
+            )
+
+        exact, dominated = run(False), run(True)
+        assert sum(o.explored for o in dominated) < sum(o.explored for o in exact)
+        assert not triple_issues(exact)
+        assert not triple_issues(dominated)
 
 
 class TestCheckTriple:
