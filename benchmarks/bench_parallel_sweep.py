@@ -40,6 +40,14 @@ JOBS = 2
 #: The warm rerun must beat the cold run at least this much (ISSUE 2).
 MIN_WARM_SPEEDUP = 5.0
 
+#: Supervision (apply_async + polling + retries bookkeeping) must cost
+#: under 10% over the bare PR-2 ``pool.map`` on the clean path (ISSUE 3).
+MAX_SUPERVISION_OVERHEAD = 0.10
+
+#: Absolute grace on the overhead comparison: scheduler noise between
+#: two multi-second sweeps, not supervision cost.
+OVERHEAD_SLACK_SECONDS = 1.0
+
 
 def _verdicts(result):
     return {
@@ -66,14 +74,27 @@ def test_parallel_cached_sweep(out_dir):
     shutil.rmtree(cache_dir, ignore_errors=True)
 
     serial, serial_secs = _timed(jobs=1, cache=False)
+    legacy, legacy_secs = _timed(jobs=JOBS, cache=False, supervised=False)
     parallel, parallel_secs = _timed(jobs=JOBS, cache=False)
     cold, cold_secs = _timed(jobs=JOBS, cache_dir=cache_dir)
     warm, warm_secs = _timed(jobs=JOBS, cache_dir=cache_dir)
 
-    # Contract 1: fanning out changes nothing but the wall clock.
+    # Contract 1: fanning out changes nothing but the wall clock —
+    # supervised or not.
     assert _verdicts(serial) == _verdicts(parallel)
+    assert _verdicts(serial) == _verdicts(legacy)
     assert _verdicts(serial) == _verdicts(cold) == _verdicts(warm)
     assert serial.ok
+
+    # Contract 3 (ISSUE 3): supervision is nearly free on the clean path.
+    overhead = (parallel_secs - legacy_secs) / legacy_secs
+    assert parallel_secs <= legacy_secs * (1 + MAX_SUPERVISION_OVERHEAD) + (
+        OVERHEAD_SLACK_SECONDS
+    ), (
+        f"supervised sweep {parallel_secs:.3f}s vs bare pool.map "
+        f"{legacy_secs:.3f}s: {overhead:+.1%} overhead "
+        f"(required <= {MAX_SUPERVISION_OVERHEAD:.0%})"
+    )
 
     # Contract 2: a warm cache replays every verdict, >= 5x faster.
     assert cold.hits == 0
@@ -90,11 +111,13 @@ def test_parallel_cached_sweep(out_dir):
         "cpu_count": os.cpu_count(),
         "seconds": {
             "serial": serial_secs,
+            "pool_map": legacy_secs,
             "parallel": parallel_secs,
             "cold_cache": cold_secs,
             "warm_cache": warm_secs,
         },
         "warm_speedup": speedup,
+        "supervision_overhead": overhead,
         "cache_hits_warm": warm.hits,
         "per_program_serial": {
             o.name: o.seconds for o in serial.outcomes
@@ -109,11 +132,14 @@ def test_parallel_cached_sweep(out_dir):
         f"{len(PROGRAMS)} programs, jobs={JOBS}, cpus={os.cpu_count()}",
         f"{'mode':<12} {'wall (s)':>9}",
         f"{'serial':<12} {serial_secs:>9.3f}",
-        f"{'parallel':<12} {parallel_secs:>9.3f}",
+        f"{'pool.map':<12} {legacy_secs:>9.3f}",
+        f"{'supervised':<12} {parallel_secs:>9.3f}",
         f"{'cold cache':<12} {cold_secs:>9.3f}",
         f"{'warm cache':<12} {warm_secs:>9.3f}",
         f"warm speedup over cold: {speedup:.1f}x "
         f"(required >= {MIN_WARM_SPEEDUP:.0f}x)",
+        f"supervision overhead over pool.map: {overhead:+.1%} "
+        f"(required <= {MAX_SUPERVISION_OVERHEAD:.0%})",
     ]
     emit(out_dir, "parallel_sweep.txt", "\n".join(lines))
 

@@ -5,8 +5,12 @@ entry points.
   (Tables 1-2, Figures 2 & 5, plus the fcsl-lint sweep); Table 1 runs
   through the parallel cached engine.
 * ``python -m repro verify`` — the registry verification sweep alone:
-  parallel workers (``--jobs``), persistent obligation cache
-  (``--no-cache`` to disable), text or JSON output.
+  supervised parallel workers (``--jobs``, ``--timeout``, ``--retries``),
+  persistent obligation cache (``--no-cache`` to disable), deterministic
+  fault injection (``--inject``, see docs/ROBUSTNESS.md), text or JSON
+  output.  Exits 0 (all verified), 1 (a verdict failed), 2 (unknown
+  program), or 3 (infrastructure fault: a program was quarantined, the
+  sweep was interrupted, or the pool degraded to serial).
 * ``python -m repro lint`` — static analysis only: lint the registry's
   case studies.  Exits non-zero iff an error-severity diagnostic fires
   (``--strict`` tightens that to warnings).
@@ -48,8 +52,15 @@ def _run_lint(args: argparse.Namespace) -> int:
 
 
 def _run_verify(args: argparse.Namespace) -> int:
-    from .engine import run_sweep
+    from .engine import FaultPlan, FaultSpecError, run_sweep
 
+    plan = None
+    if args.inject:
+        try:
+            plan = FaultPlan.parse(";".join(args.inject))
+        except FaultSpecError as exc:
+            print(f"repro-verify: {exc}", file=sys.stderr)
+            return 2
     try:
         result = run_sweep(
             names=args.program or None,
@@ -57,6 +68,9 @@ def _run_verify(args: argparse.Namespace) -> int:
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
             prepass=not args.no_prepass,
+            timeout=args.timeout,
+            retries=args.retries,
+            faults=plan,
         )
     except KeyError as exc:
         print(f"repro-verify: {exc.args[0]}", file=sys.stderr)
@@ -65,7 +79,7 @@ def _run_verify(args: argparse.Namespace) -> int:
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.render())
-    return 0 if result.ok else 1
+    return result.exit_code()
 
 
 def _run_eval(args: argparse.Namespace) -> int:
@@ -75,6 +89,8 @@ def _run_eval(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
     )
 
 
@@ -98,6 +114,22 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="obligation cache location (default: .repro-cache/, or "
         "$REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-program wall-clock budget per attempt; a worker past it "
+        "is killed and the program retried (default: none; pool path only)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-dispatches for crashed/timed-out programs before they are "
+        "quarantined (default: 1)",
     )
 
 
@@ -152,6 +184,14 @@ def main(argv: list[str] | None = None) -> int:
         "--no-prepass",
         action="store_true",
         help="skip the fcsl-lint static pre-pass (pure dynamic checking)",
+    )
+    verify.add_argument(
+        "--inject",
+        action="append",
+        metavar="SPEC",
+        help="chaos harness: inject a deterministic fault, e.g. "
+        "'CAS-lock:crash@1' (kinds: crash, hang, raise, torn; repeatable, "
+        "also via $REPRO_FAULTS)",
     )
     _add_engine_options(verify)
 

@@ -1,17 +1,20 @@
-"""repro.engine — the parallel, cached verification engine.
+"""repro.engine — the parallel, cached, supervised verification engine.
 
 ``python -m repro verify`` and the evaluation's Table 1 sweep both run
 through :func:`run_sweep`: registry case studies fan out across a
 process pool (one worker per case study, fcsl-lint pre-pass installed
-per worker) and verdicts are replayed from a persistent on-disk
-obligation cache keyed by content fingerprint.  See
-:mod:`repro.engine.engine` for the orchestration,
-:mod:`repro.engine.cache` for the cache layout and
+per worker) under a fault-tolerant supervisor, and verdicts are
+replayed from a persistent on-disk obligation cache keyed by content
+fingerprint.  See :mod:`repro.engine.engine` for the orchestration,
+:mod:`repro.engine.supervisor` for timeouts/retries/worker isolation,
+:mod:`repro.engine.faults` for the deterministic fault-injection
+(chaos) layer, :mod:`repro.engine.cache` for the cache layout and
 :mod:`repro.engine.fingerprint` for the invalidation rules.
 """
 
 from .cache import DEFAULT_CACHE_DIR, ENV_CACHE_DIR, ObligationCache, default_cache_dir
 from .engine import (
+    EXIT_INFRA,
     ProgramOutcome,
     SweepResult,
     default_jobs,
@@ -19,20 +22,46 @@ from .engine import (
     run_sweep,
     sweep,
 )
+from .faults import (
+    ENV_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    InjectedFault,
+)
 from .fingerprint import (
     CACHE_SCHEMA_VERSION,
     framework_digest,
     module_source,
     program_fingerprint,
 )
+from .supervisor import (
+    INFRA_STATUSES,
+    SupervisionOutcome,
+    Supervisor,
+    SupervisorConfig,
+    TaskResult,
+    supervise,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "ENV_CACHE_DIR",
+    "ENV_FAULTS",
+    "EXIT_INFRA",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "INFRA_STATUSES",
+    "InjectedFault",
     "ObligationCache",
     "ProgramOutcome",
+    "SupervisionOutcome",
+    "Supervisor",
+    "SupervisorConfig",
     "SweepResult",
+    "TaskResult",
     "default_cache_dir",
     "default_jobs",
     "framework_digest",
@@ -40,5 +69,6 @@ __all__ = [
     "program_fingerprint",
     "resolve_programs",
     "run_sweep",
+    "supervise",
     "sweep",
 ]

@@ -3,9 +3,14 @@
 One JSON file per case study, atomically replaced on store::
 
     .repro-cache/
-        cas-lock.json
-        ticketed-lock.json
+        cas-lock-d663f1b7.json
+        ticketed-lock-0355dc9c.json
         ...
+
+The file stem is the slugified program name plus a short digest of the
+*exact* name: two distinct registry names that slugify identically
+(``"CAS-lock"`` vs ``"CAS lock"``) must never share a file, or one
+program's store would evict the other's entry on every run.
 
 Each file holds the cache schema version, the program name, the content
 fingerprint it was computed under (see :mod:`repro.engine.fingerprint`),
@@ -19,6 +24,7 @@ corrupted cache must cost a recomputation, not a verdict.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -27,6 +33,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core.verify import VerificationReport
+from .faults import maybe_torn_write
 from .fingerprint import CACHE_SCHEMA_VERSION
 
 #: Default cache directory, relative to the current working directory.
@@ -41,8 +48,16 @@ def default_cache_dir() -> Path:
 
 
 def _slug(name: str) -> str:
-    """Filesystem-safe file stem for a registry program name."""
-    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-") or "program"
+    """Filesystem-safe, *collision-free* file stem for a program name.
+
+    The readable part lossily folds case and punctuation, so it is
+    disambiguated with a short digest of the exact name — without it,
+    ``"CAS-lock"`` and ``"CAS lock"`` would share one file stem and
+    silently evict each other's entries.
+    """
+    readable = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-") or "program"
+    digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
+    return f"{readable}-{digest}"
 
 
 class ObligationCache:
@@ -82,7 +97,9 @@ class ObligationCache:
 
         Atomic replacement means a concurrent reader sees either the old
         entry or the new one, never a torn file — required once workers
-        and warm reruns overlap.
+        and warm reruns overlap.  A write that raises midway cleans up
+        its temp file instead of littering the cache directory with
+        orphaned ``*.tmp.<pid>`` files.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(program)
@@ -94,16 +111,45 @@ class ObligationCache:
             "meta": meta or {},
             "report": report.to_dict(),
         }
+        text = json.dumps(payload, indent=2) + "\n"
+        if maybe_torn_write(program):
+            # Chaos harness: simulate a crash mid-write — the entry on
+            # disk is cut short and must read back as a miss, never as
+            # a verdict (see docs/ROBUSTNESS.md).
+            text = text[: max(1, len(text) // 2)]
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
+    def _is_entry(self, path: Path) -> bool:
+        """Whether ``path`` parses as a schema-versioned cache entry."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except Exception:  # noqa: BLE001 - unreadable => not ours to delete
+            return False
+        return (
+            isinstance(data, dict)
+            and "schema" in data
+            and "program" in data
+            and "report" in data
+        )
+
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every cache *entry*; returns the number removed.
+
+        Only files that parse as schema-versioned entries are touched:
+        a user pointing ``--cache-dir`` at a directory that also holds
+        unrelated ``*.json`` files must not lose them.
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
+                if self._is_entry(path):
+                    path.unlink(missing_ok=True)
+                    removed += 1
         return removed

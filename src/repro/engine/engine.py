@@ -1,4 +1,5 @@
-"""The parallel, cached verification engine behind ``repro verify``.
+"""The parallel, cached, *supervised* verification engine behind
+``repro verify``.
 
 The registry sweep (all eleven Table 1 case studies) historically ran
 strictly serially and recomputed every obligation from scratch on every
@@ -17,6 +18,16 @@ run.  The engine fixes both ends:
   :class:`~repro.engine.cache.ObligationCache` keyed by content
   fingerprint; unchanged case studies are verdict-replayed instantly on
   warm reruns.
+* **Supervision** — dispatch goes through
+  :mod:`repro.engine.supervisor`: per-program timeouts, worker-death
+  detection, bounded retries with backoff, pool resurrection, and
+  serial degradation when the pool cannot be built.  A program that
+  still fails after retries is *quarantined* — its
+  :class:`ProgramOutcome` carries ``status`` ``error``/``timeout``/
+  ``crashed`` and the captured traceback — and the sweep still reports
+  every requested program.  Deterministic fault injection
+  (:mod:`repro.engine.faults`, ``--inject``) exists to prove all of
+  this under test.
 
 ``--jobs 1`` degenerates to the fully serial in-process path (no pool is
 ever created), which doubles as the reference the parallel path is
@@ -28,13 +39,27 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..core.verify import CATEGORIES, VerificationReport, set_prepass
 from ..structures.registry import ProgramInfo, all_programs
 from .cache import ObligationCache
+from .faults import FaultPlan, maybe_inject, plan_installed
 from .fingerprint import program_fingerprint
+from .supervisor import (
+    INFRA_STATUSES,
+    SupervisorConfig,
+    TaskResult,
+    announce,
+    exc_payload,
+    supervise,
+)
+
+#: Process exit code for a sweep degraded by infrastructure faults
+#: (vs. 1 = a verification verdict failed, 2 = unknown program).
+EXIT_INFRA = 3
 
 
 @dataclass
@@ -42,7 +67,9 @@ class ProgramOutcome:
     """One case study's sweep result."""
 
     name: str
-    report: VerificationReport
+    #: The verification report — ``None`` when the program was
+    #: quarantined (``status`` in :data:`~repro.engine.supervisor.INFRA_STATUSES`).
+    report: VerificationReport | None
     fingerprint: str
     #: True iff the report was replayed from the obligation cache.
     cached: bool
@@ -50,18 +77,41 @@ class ProgramOutcome:
     #: time on a miss, replay time on a hit) — distinct from
     #: ``report.seconds``, the summed per-obligation checking time.
     seconds: float
+    #: ``ok`` | ``failed`` (verdicts) or ``error`` | ``timeout`` |
+    #: ``crashed`` | ``interrupted`` (quarantined: no verdict exists).
+    status: str = "ok"
+    #: Fault-triggered re-dispatches that preceded this outcome.
+    retries: int = 0
+    #: Structured ``{type, message, traceback}`` for error-class statuses.
+    error: dict[str, Any] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def quarantined(self) -> bool:
+        """No verdict exists for this program (infrastructure fault)."""
+        return self.status in INFRA_STATUSES
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "program": self.name,
-            "ok": self.report.ok,
+            "ok": self.ok,
+            "status": self.status,
+            "retries": self.retries,
             "cached": self.cached,
             "fingerprint": self.fingerprint,
             "seconds": self.seconds,
-            "report_seconds": self.report.seconds,
-            "obligations": self.report.counts_by_category(),
-            "prepass_skips": self.report.prepass_skips,
-            "failures": [o.to_dict() for o in self.report.failures()],
+            "report_seconds": self.report.seconds if self.report else 0.0,
+            "obligations": (
+                self.report.counts_by_category() if self.report else {}
+            ),
+            "prepass_skips": self.report.prepass_skips if self.report else 0,
+            "failures": (
+                [o.to_dict() for o in self.report.failures()] if self.report else []
+            ),
+            "error": self.error,
         }
 
 
@@ -73,14 +123,33 @@ class SweepResult:
     jobs: int = 1
     seconds: float = 0.0
     cache_dir: str | None = None
+    #: True when the worker pool could not be (re)built and the sweep
+    #: fell back to serial in-process execution.
+    degraded: bool = False
+    #: True when a KeyboardInterrupt cut the sweep short (the result is
+    #: partial: completed + cached outcomes, the rest ``interrupted``).
+    interrupted: bool = False
+    warnings: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return all(o.report.ok for o in self.outcomes)
+        return all(o.ok for o in self.outcomes)
 
     @property
     def hits(self) -> int:
         return sum(1 for o in self.outcomes if o.cached)
+
+    def quarantined(self) -> list[ProgramOutcome]:
+        """Outcomes with no verdict (crashed/timed out/raised/interrupted)."""
+        return [o for o in self.outcomes if o.quarantined]
+
+    def exit_code(self) -> int:
+        """CLI exit convention: ``0`` all verified, ``1`` a verification
+        verdict failed, ``3`` infrastructure fault/degraded (no trustable
+        complete answer — takes precedence over ``1``)."""
+        if self.degraded or self.interrupted or self.quarantined():
+            return EXIT_INFRA
+        return 0 if self.ok else 1
 
     def outcome(self, name: str) -> ProgramOutcome:
         for o in self.outcomes:
@@ -89,39 +158,59 @@ class SweepResult:
         raise KeyError(f"no outcome for program {name!r}")
 
     def reports(self) -> dict[str, VerificationReport]:
-        return {o.name: o.report for o in self.outcomes}
+        """Per-program reports, for the programs that produced one."""
+        return {o.name: o.report for o in self.outcomes if o.report is not None}
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "ok": self.ok,
+            "exit_code": self.exit_code(),
             "jobs": self.jobs,
             "seconds": self.seconds,
             "cache_dir": self.cache_dir,
             "cache_hits": self.hits,
+            "degraded": self.degraded,
+            "interrupted": self.interrupted,
+            "warnings": list(self.warnings),
             "programs": [o.to_dict() for o in self.outcomes],
         }
 
     def render(self) -> str:
         header = (
-            f"{'Program':<15} {'ok':>3} "
+            f"{'Program':<15} {'status':>7} "
             + " ".join(f"{c:>5}" for c in CATEGORIES)
-            + f" {'Wall':>8} {'Cache':>6}"
+            + f" {'Wall':>8} {'Cache':>6} {'Retry':>5}"
         )
         lines = [header, "-" * len(header)]
         for o in self.outcomes:
-            counts = o.report.counts_by_category()
+            counts = o.report.counts_by_category() if o.report else {}
             lines.append(
-                f"{o.name:<15} {'ok' if o.report.ok else 'NO':>3} "
+                f"{o.name:<15} {o.status:>7} "
                 + " ".join(f"{counts.get(c, 0):>5}" for c in CATEGORIES)
                 + f" {o.seconds:>7.2f}s {'hit' if o.cached else 'miss':>6}"
+                + (f" {o.retries:>5}" if o.retries else f" {'':>5}")
             )
         lines.append(
             f"{len(self.outcomes)} program(s), {self.hits} cache hit(s), "
             f"jobs={self.jobs}, wall {self.seconds:.2f}s"
         )
         for o in self.outcomes:
-            for failure in o.report.failures():
-                lines.append(f"  FAILED {o.name} :: {failure}")
+            if o.report is not None:
+                for failure in o.report.failures():
+                    lines.append(f"  FAILED {o.name} :: {failure}")
+            elif o.error is not None:
+                lines.append(
+                    f"  {o.status.upper()} {o.name} :: "
+                    f"{o.error.get('type')}: {o.error.get('message')}"
+                )
+            else:
+                lines.append(f"  {o.status.upper()} {o.name}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        if self.degraded:
+            lines.append("  DEGRADED: worker pool unavailable, ran serially")
+        if self.interrupted:
+            lines.append("  INTERRUPTED: partial sweep (completed verdicts kept)")
         return "\n".join(lines)
 
 
@@ -167,30 +256,128 @@ def _uninstall_worker_prepass() -> None:
     set_prepass(None)
 
 
-def _verify_one(info: ProgramInfo) -> dict[str, Any]:
-    """Run one case study's verifier; returns a picklable payload."""
+def _verify_one(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
+    """Run one case study's verifier; returns a picklable payload.
+
+    The payload is structured even on failure: a verifier that raises
+    yields ``{"status": "error", "error": {type, message, traceback}}``
+    rather than a pickled exception, so the serial and parallel paths
+    report verifier bugs identically.  Injected faults fire *before*
+    the capture — a ``raise`` fault models a harness bug escaping the
+    worker, which the supervisor (not this function) must absorb.
+    """
+    announce(info.name)
+    maybe_inject(info.name, attempt)
     started = time.perf_counter()
-    report = info.run_verifier()
+    try:
+        report = info.run_verifier()
+    except Exception as exc:  # noqa: BLE001 - structured, not pickled
+        return {
+            "status": "error",
+            "seconds": time.perf_counter() - started,
+            "error": exc_payload(exc, tb=traceback.format_exc()),
+        }
     return {
+        "status": "report",
         "seconds": time.perf_counter() - started,
         "report": report.to_dict(),
     }
 
 
-def _run_serial(
-    pending: Sequence[ProgramInfo], *, prepass: bool
-) -> list[dict[str, Any]]:
-    if not prepass:
-        return [_verify_one(info) for info in pending]
+def _verify_one_prepassed(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
+    """Degraded-serial worker: per-call pre-pass installation (the pool
+    initializer that normally does this never ran)."""
     from ..analysis.prepass import static_prepass
 
     with static_prepass():
-        return [_verify_one(info) for info in pending]
+        return _verify_one(info, attempt)
 
 
 def default_jobs(pending: int) -> int:
     """One worker per pending case study, capped by the CPU count."""
     return max(1, min(pending, os.cpu_count() or 1))
+
+
+def _serial_results(
+    pending: Sequence[ProgramInfo], *, prepass: bool
+) -> tuple[dict[str, TaskResult], bool]:
+    """The ``--jobs 1`` path: in-process, no pool, no supervision.
+
+    Per-program timeouts and crash isolation need a process boundary
+    and do not apply here; verifier exceptions are still captured as
+    structured ``error`` outcomes, and a ``KeyboardInterrupt`` returns
+    the completed prefix with the rest marked ``interrupted``.
+    """
+    results: dict[str, TaskResult] = {}
+    interrupted = False
+
+    def run_all() -> None:
+        nonlocal interrupted
+        for info in pending:
+            if interrupted:
+                results[info.name] = TaskResult(info.name, "interrupted")
+                continue
+            started = time.perf_counter()
+            try:
+                payload = _verify_one(info)
+            except KeyboardInterrupt:
+                interrupted = True
+                results[info.name] = TaskResult(
+                    info.name, "interrupted",
+                    seconds=time.perf_counter() - started,
+                )
+                continue
+            except Exception as exc:  # noqa: BLE001 - e.g. injected 'raise'
+                results[info.name] = TaskResult(
+                    info.name, "error",
+                    error=exc_payload(exc),
+                    seconds=time.perf_counter() - started,
+                )
+                continue
+            results[info.name] = TaskResult(
+                info.name,
+                payload.get("status", "report"),
+                payload=payload,
+                error=payload.get("error"),
+                seconds=time.perf_counter() - started,
+            )
+
+    if not prepass:
+        run_all()
+    else:
+        from ..analysis.prepass import static_prepass
+
+        with static_prepass():
+            run_all()
+    return results, interrupted
+
+
+def _pool_map_results(
+    pending: Sequence[ProgramInfo], *, jobs: int, prepass: bool
+) -> dict[str, TaskResult]:
+    """The unsupervised PR-2 path: a bare ``pool.map``.
+
+    Kept as the baseline the supervised path is benchmarked against
+    (``bench_parallel_sweep`` asserts < 10% clean-path overhead) — it
+    dies wholesale on any worker fault and should not be used outside
+    that comparison."""
+    with multiprocessing.Pool(
+        processes=jobs,
+        initializer=(
+            _install_worker_prepass if prepass else _uninstall_worker_prepass
+        ),
+    ) as pool:
+        payloads = pool.map(_verify_one, pending)
+    return {
+        info.name: TaskResult(
+            info.name,
+            payload.get("status", "report"),
+            payload=payload,
+            error=payload.get("error"),
+            seconds=payload.get("seconds", 0.0),
+        )
+        for info, payload in zip(pending, payloads)
+    }
 
 
 def sweep(
@@ -200,60 +387,143 @@ def sweep(
     cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
     prepass: bool = True,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.25,
+    faults: FaultPlan | str | None = None,
+    supervised: bool = True,
 ) -> SweepResult:
     """Verify ``programs``, replaying cached verdicts and fanning the rest
-    out over ``jobs`` worker processes (``None`` = one per case study,
-    capped by CPU count; ``1`` = serial in-process, no pool)."""
+    out over ``jobs`` supervised worker processes (``None`` = one per
+    case study, capped by CPU count; ``1`` = serial in-process, no pool).
+
+    ``timeout`` bounds each program's wall clock per attempt (pool path
+    only); ``retries`` re-dispatches crashed/timed-out/raised programs
+    with exponential ``backoff``.  ``faults`` installs a deterministic
+    :class:`~repro.engine.faults.FaultPlan` (or its string spec) for the
+    duration of the sweep — the chaos harness.  ``supervised=False``
+    selects the bare ``pool.map`` baseline (benchmarking only).
+
+    The sweep always returns an outcome for every requested program:
+    infrastructure faults quarantine a program (``status`` records what
+    happened) instead of killing the run.
+    """
     started = time.perf_counter()
+    plan = FaultPlan.parse(faults) if isinstance(faults, str) else faults
     store = ObligationCache(cache_dir) if cache else None
     outcomes: dict[str, ProgramOutcome] = {}
-    pending: list[tuple[ProgramInfo, str]] = []
+    fingerprints: dict[str, str] = {}
+    pending: list[ProgramInfo] = []
 
     for info in programs:
-        fingerprint = program_fingerprint(info)
+        fingerprint = fingerprints[info.name] = program_fingerprint(info)
         if store is not None:
             t0 = time.perf_counter()
             hit = store.load(info.name, fingerprint)
             if hit is not None:
                 outcomes[info.name] = ProgramOutcome(
-                    info.name, hit, fingerprint, True, time.perf_counter() - t0
+                    info.name,
+                    hit,
+                    fingerprint,
+                    True,
+                    time.perf_counter() - t0,
+                    status="ok" if hit.ok else "failed",
                 )
                 continue
-        pending.append((info, fingerprint))
+        pending.append(info)
 
     jobs = default_jobs(len(pending)) if jobs is None else max(1, jobs)
     jobs = min(jobs, len(pending)) if pending else 1
 
+    degraded = False
+    interrupted = False
+    warnings: list[str] = []
+
     if pending:
-        infos = [info for info, __ in pending]
-        if jobs == 1:
-            payloads = _run_serial(infos, prepass=prepass)
-        else:
-            with multiprocessing.Pool(
-                processes=jobs,
-                initializer=(
-                    _install_worker_prepass if prepass else _uninstall_worker_prepass
-                ),
-            ) as pool:
-                payloads = pool.map(_verify_one, infos)
-        for (info, fingerprint), payload in zip(pending, payloads):
-            report = VerificationReport.from_dict(payload["report"])
-            outcomes[info.name] = ProgramOutcome(
-                info.name, report, fingerprint, False, payload["seconds"]
-            )
-            if store is not None:
-                store.store(
-                    info.name,
-                    fingerprint,
-                    report,
-                    meta={"seconds": payload["seconds"], "jobs": jobs},
+        # The plan stays installed through the store loop below: torn
+        # cache writes are a cache-site fault, fired in this process.
+        with plan_installed(plan):
+            if jobs == 1:
+                results, interrupted = _serial_results(pending, prepass=prepass)
+            elif not supervised:
+                results = _pool_map_results(pending, jobs=jobs, prepass=prepass)
+            else:
+                outcome = supervise(
+                    pending,
+                    worker=_verify_one,
+                    config=SupervisorConfig(
+                        jobs=jobs, timeout=timeout, retries=retries, backoff=backoff
+                    ),
+                    initializer=(
+                        _install_worker_prepass
+                        if prepass
+                        else _uninstall_worker_prepass
+                    ),
+                    serial_worker=(
+                        _verify_one_prepassed if prepass else _verify_one
+                    ),
                 )
+                results = outcome.results
+                degraded = outcome.degraded
+                interrupted = outcome.interrupted
+                warnings.extend(outcome.warnings)
+
+            for info in pending:
+                result = results.get(info.name)
+                fingerprint = fingerprints[info.name]
+                if result is None:  # defensive: supervision must answer everyone
+                    outcomes[info.name] = ProgramOutcome(
+                        info.name, None, fingerprint, False, 0.0, status="crashed"
+                    )
+                    continue
+                if result.status == "report":
+                    report = VerificationReport.from_dict(result.payload["report"])
+                    outcomes[info.name] = ProgramOutcome(
+                        info.name,
+                        report,
+                        fingerprint,
+                        False,
+                        result.payload.get("seconds", result.seconds),
+                        status="ok" if report.ok else "failed",
+                        retries=result.retries,
+                    )
+                    if store is not None:
+                        try:
+                            store.store(
+                                info.name,
+                                fingerprint,
+                                report,
+                                meta={
+                                    "seconds": result.payload.get("seconds", 0.0),
+                                    "jobs": jobs,
+                                    "retries": result.retries,
+                                },
+                            )
+                        except Exception as exc:  # noqa: BLE001 - not sweep loss
+                            warnings.append(
+                                f"cache store failed for {info.name!r}: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                else:
+                    outcomes[info.name] = ProgramOutcome(
+                        info.name,
+                        None,
+                        fingerprint,
+                        False,
+                        result.seconds,
+                        status=result.status,
+                        retries=result.retries,
+                        error=result.error,
+                    )
 
     return SweepResult(
         outcomes=[outcomes[info.name] for info in programs],
         jobs=jobs,
         seconds=time.perf_counter() - started,
         cache_dir=str(store.root) if store is not None else None,
+        degraded=degraded,
+        interrupted=interrupted,
+        warnings=warnings,
     )
 
 
@@ -264,6 +534,11 @@ def run_sweep(
     cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
     prepass: bool = True,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.25,
+    faults: FaultPlan | str | None = None,
+    supervised: bool = True,
 ) -> SweepResult:
     """Name-based front door: resolve registry rows, then :func:`sweep`."""
     return sweep(
@@ -272,4 +547,9 @@ def run_sweep(
         cache=cache,
         cache_dir=cache_dir,
         prepass=prepass,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        faults=faults,
+        supervised=supervised,
     )

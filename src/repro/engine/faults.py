@@ -1,0 +1,253 @@
+"""Deterministic fault injection for the verification engine (chaos harness).
+
+The supervisor (:mod:`repro.engine.supervisor`) claims to survive worker
+crashes, hangs, stray exceptions and torn cache writes.  Claims about
+failure handling are worthless untested, and real faults are neither
+deterministic nor cheap to produce — so this module provides an
+*injection plan*: a set of :class:`FaultSpec` triggers, each naming a
+registry program, a fault kind and the attempt on which it fires.
+
+Kinds
+-----
+
+``crash``
+    The worker process hard-exits (``os._exit``) — models an OOM kill or
+    a segfault.  No cleanup, no exception, no result: the supervisor
+    must *notice* the death.
+``hang``
+    The worker sleeps far past any sane per-program timeout — models a
+    diverging verifier.  Only the supervisor's timeout can end it.
+``raise``
+    An :class:`InjectedFault` is raised *outside* the worker's
+    exception capture, so it crosses the pool boundary as a pickled
+    exception — models harness bugs rather than verifier bugs.
+``torn``
+    The next cache write for the program is cut short halfway — models
+    a crash mid-``write``.  The resulting entry must be unreadable
+    (a recomputation), never a verdict.
+
+Plans cross the :mod:`multiprocessing` pool boundary through the
+``REPRO_FAULTS`` environment variable: the sweep installs the rendered
+plan into ``os.environ`` before the pool is created, and a worker's
+:func:`maybe_inject` call lazily parses it back.  Everything is keyed
+on ``(program, site, attempt)``, so a fault that fires on attempt 1
+deterministically does *not* fire on the retry — which is exactly what
+lets the chaos suite assert transparent recovery.
+
+Spec grammar (``;``-separated in the env var / ``--inject``)::
+
+    PROGRAM:KIND            # fire on attempt 1
+    PROGRAM:KIND@N          # fire on attempt N only
+    PROGRAM:KIND@*          # fire on every attempt (exhausts retries)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Environment variable carrying the rendered plan across process spawns.
+ENV_FAULTS = "REPRO_FAULTS"
+
+#: Recognised fault kinds.
+KINDS = ("crash", "hang", "raise", "torn")
+
+#: Exit status used by an injected ``crash`` (EX_SOFTWARE).
+CRASH_EXIT_CODE = 70
+
+#: How long an injected ``hang`` sleeps — far past any test timeout,
+#: bounded so a broken supervisor strands a process, not the machine.
+HANG_SECONDS = 600.0
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by a ``raise`` fault (escapes worker capture)."""
+
+
+class FaultSpecError(ValueError):
+    """An ``--inject``/``REPRO_FAULTS`` spec that does not parse."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One trigger: ``program`` suffers ``kind`` on attempt ``attempt``.
+
+    ``attempt`` is 1-based; ``None`` means *every* attempt (the retry
+    budget cannot outlast the fault — the exhaustion path).
+    """
+
+    program: str
+    kind: str
+    attempt: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r} (choose from {', '.join(KINDS)})"
+            )
+        if self.attempt is not None and self.attempt < 1:
+            raise FaultSpecError(f"fault attempt must be >= 1, got {self.attempt}")
+
+    @property
+    def site(self) -> str:
+        """Where the fault is wired in: ``torn`` hits the cache write
+        (parent process), everything else the worker's verify call."""
+        return "cache" if self.kind == "torn" else "verify"
+
+    def matches(self, program: str, site: str, attempt: int) -> bool:
+        return (
+            self.program == program
+            and self.site == site
+            and (self.attempt is None or self.attempt == attempt)
+        )
+
+    def render(self) -> str:
+        when = "*" if self.attempt is None else str(self.attempt)
+        return f"{self.program}:{self.kind}@{when}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        head, sep, kind = text.strip().rpartition(":")
+        if not sep or not head:
+            raise FaultSpecError(
+                f"bad fault spec {text!r}: expected PROGRAM:KIND[@ATTEMPT]"
+            )
+        attempt: int | None = 1
+        if "@" in kind:
+            kind, __, when = kind.partition("@")
+            if when == "*":
+                attempt = None
+            else:
+                try:
+                    attempt = int(when)
+                except ValueError:
+                    raise FaultSpecError(
+                        f"bad fault attempt {when!r} in {text!r} (integer or '*')"
+                    ) from None
+        return cls(program=head, kind=kind, attempt=attempt)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of fault specs, plus per-program counters
+    for sites (the cache write) that have no externally supplied attempt
+    number."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    _store_attempts: dict[str, int] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        specs = tuple(
+            FaultSpec.parse(part)
+            for part in text.split(";")
+            if part.strip()
+        )
+        return cls(specs=specs)
+
+    def render(self) -> str:
+        return ";".join(spec.render() for spec in self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def spec_for(self, program: str, site: str, attempt: int) -> FaultSpec | None:
+        for spec in self.specs:
+            if spec.matches(program, site, attempt):
+                return spec
+        return None
+
+    def fire(self, program: str, attempt: int) -> None:
+        """Trigger any matching verify-site fault (worker-side).
+
+        ``crash`` never returns; ``hang`` returns only after
+        :data:`HANG_SECONDS`; ``raise`` raises :class:`InjectedFault`.
+        """
+        spec = self.spec_for(program, "verify", attempt)
+        if spec is None:
+            return
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind == "hang":
+            deadline = time.monotonic() + HANG_SECONDS
+            while time.monotonic() < deadline:
+                time.sleep(1.0)
+            return
+        raise InjectedFault(f"injected fault {spec.render()} (attempt {attempt})")
+
+    def torn_write(self, program: str) -> bool:
+        """Whether the *next* cache write for ``program`` must be torn.
+
+        Store attempts are counted per plan instance, in the process
+        that owns the cache (the sweep parent) — the Nth ``store`` call
+        for the program is attempt N.
+        """
+        attempt = self._store_attempts.get(program, 0) + 1
+        self._store_attempts[program] = attempt
+        return self.spec_for(program, "cache", attempt) is not None
+
+
+# -- the active plan ----------------------------------------------------------
+#
+# The sweep installs its plan both as a module global (same process:
+# fork-started workers inherit it) and, rendered, in os.environ (so
+# spawn-started workers re-parse it).  Lookup order: explicit install,
+# then the environment.
+
+_ACTIVE: FaultPlan | None = None
+_ENV_CACHE: tuple[str, FaultPlan] | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in force for this process, or ``None``.
+
+    The parsed-from-environment plan is cached per env value, so store
+    counters survive across calls within one process.
+    """
+    global _ENV_CACHE
+    if _ACTIVE is not None:
+        return _ACTIVE
+    text = os.environ.get(ENV_FAULTS, "").strip()
+    if not text:
+        return None
+    if _ENV_CACHE is None or _ENV_CACHE[0] != text:
+        _ENV_CACHE = (text, FaultPlan.parse(text))
+    return _ENV_CACHE[1]
+
+
+@contextmanager
+def plan_installed(plan: FaultPlan | None):
+    """Install ``plan`` (module global + ``REPRO_FAULTS``) for the
+    duration of a sweep; a ``None``/empty plan leaves the environment
+    untouched, so an externally exported ``REPRO_FAULTS`` still applies."""
+    global _ACTIVE
+    if plan is None or not plan.specs:
+        yield
+        return
+    previous_active, previous_env = _ACTIVE, os.environ.get(ENV_FAULTS)
+    _ACTIVE = plan
+    os.environ[ENV_FAULTS] = plan.render()
+    try:
+        yield
+    finally:
+        _ACTIVE = previous_active
+        if previous_env is None:
+            os.environ.pop(ENV_FAULTS, None)
+        else:
+            os.environ[ENV_FAULTS] = previous_env
+
+
+def maybe_inject(program: str, attempt: int) -> None:
+    """Worker-side fault point: trigger any verify-site fault due for
+    ``(program, attempt)``; a no-op without an active plan."""
+    plan = active_plan()
+    if plan is not None:
+        plan.fire(program, attempt)
+
+
+def maybe_torn_write(program: str) -> bool:
+    """Cache-side fault point: ``True`` iff this store must be torn."""
+    plan = active_plan()
+    return plan is not None and plan.torn_write(program)

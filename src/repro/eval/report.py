@@ -77,6 +77,8 @@ def run_evaluation(
     jobs: int | None = 1,
     cache: bool = False,
     cache_dir: str | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
 ) -> EvaluationReport:
     """Regenerate everything (runs all 11 verifications through the engine).
 
@@ -98,10 +100,29 @@ def run_evaluation(
             "building Table 1 (verifying all 11 programs via the engine)...",
             flush=True,
         )
-    sweep = run_sweep(jobs=jobs, cache=cache, cache_dir=cache_dir)
-    rows = build_table1(reports=sweep.reports())
+    sweep = run_sweep(
+        jobs=jobs, cache=cache, cache_dir=cache_dir, timeout=timeout, retries=retries
+    )
+    # A quarantined program (worker crash/timeout/interrupt) has no
+    # report: Table 1 is built from the verdicts that exist and every
+    # missing row becomes an explicit issue — never a silent omission.
+    reports = sweep.reports()
+    from ..structures.registry import all_programs
+
+    covered = tuple(info for info in all_programs() if info.name in reports)
+    # (build_table1 treats an empty programs tuple as "all", so guard it)
+    rows = build_table1(programs=covered, reports=reports) if covered else []
     report.table1_text = render_table1(rows)
     report.issues.extend(check_shape(rows))
+    for outcome in sweep.quarantined():
+        report.issues.append(
+            f"table 1: {outcome.name} has no verdict "
+            f"(status={outcome.status}, retries={outcome.retries})"
+        )
+    if sweep.degraded:
+        report.issues.append(
+            "table 1: sweep degraded to serial (worker pool unavailable)"
+        )
     if verbose and sweep.hits:
         print(
             f"  ({sweep.hits} of {len(sweep.outcomes)} verdicts replayed "
@@ -153,11 +174,18 @@ def main(
     jobs: int | None = None,
     cache: bool = True,
     cache_dir: str | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
 ) -> int:
     """CLI body: returns the exit code instead of raising ``SystemExit``
     (callers — ``python -m repro`` — own the process exit)."""
     report = run_evaluation(
-        verbose=True, jobs=jobs, cache=cache, cache_dir=cache_dir
+        verbose=True,
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        timeout=timeout,
+        retries=retries,
     )
     print()
     print(report.render())

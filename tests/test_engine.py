@@ -147,6 +147,57 @@ class TestCache:
         sweep([info], jobs=1, cache=False, cache_dir=cache_dir)
         assert not cache_dir.exists()
 
+    def test_colliding_program_names_get_distinct_files(self, tmp_path):
+        # "CAS-lock" and "CAS lock" slugify to the same readable stem;
+        # without the name digest one would evict the other's entry.
+        cache = ObligationCache(tmp_path / "cache")
+        assert cache.path_for("CAS-lock") != cache.path_for("CAS lock")
+        assert cache.path_for("Fake!") != cache.path_for("fake?")
+
+    def test_store_failure_cleans_up_its_temp_file(self, fake_program, tmp_path, monkeypatch):
+        info, __ = fake_program
+        cache_dir = tmp_path / "cache"
+        result = sweep([info], jobs=1, cache=False)
+        report = result.outcome("Fake").report
+        cache = ObligationCache(cache_dir)
+
+        def torn_replace(src, dst):
+            raise OSError("disk full")
+
+        import os as os_mod
+
+        monkeypatch.setattr(os_mod, "replace", torn_replace)
+        with pytest.raises(OSError):
+            cache.store("Fake", "fp", report)
+        leftovers = [p.name for p in cache_dir.iterdir()]
+        assert not any(".tmp." in name for name in leftovers), leftovers
+
+    def test_store_failure_does_not_kill_the_sweep(self, fake_program, tmp_path, monkeypatch):
+        info, __ = fake_program
+        cache_dir = tmp_path / "cache"
+
+        def no_store(self, *args, **kwargs):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(ObligationCache, "store", no_store)
+        result = sweep([info], jobs=1, cache_dir=cache_dir)
+        assert result.ok
+        assert any("cache store failed" in w for w in result.warnings)
+
+    def test_clear_removes_only_cache_entries(self, fake_program, tmp_path):
+        info, __ = fake_program
+        cache_dir = tmp_path / "cache"
+        sweep([info], jobs=1, cache_dir=cache_dir)
+        foreign = cache_dir / "notes.json"
+        foreign.write_text(json.dumps({"todo": "keep me"}))
+        invalid = cache_dir / "broken.json"
+        invalid.write_text("{ not json")
+        cache = ObligationCache(cache_dir)
+        assert cache.clear() == 1
+        assert foreign.exists()
+        assert invalid.exists()
+        assert not cache.path_for("Fake").exists()
+
     def test_report_round_trips_through_dict(self):
         report = VerificationReport(
             "demo",
