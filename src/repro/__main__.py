@@ -12,11 +12,17 @@ entry points.
   program), or 3 (infrastructure fault: a program was quarantined, the
   sweep was interrupted, or the pool degraded to serial).
 * ``python -m repro lint`` — static analysis only: lint the registry's
-  case studies.  Exits non-zero iff an error-severity diagnostic fires
-  (``--strict`` tightens that to warnings).
+  case studies.
+* ``python -m repro race`` — the interference/race rules alone
+  (FCSL045+): per-action footprints, non-commuting pairs, race-shaped
+  defects.
 
-Unknown registry programs exit with code 2 and a message on stderr, for
-``lint`` and ``verify`` alike.
+``lint``, ``race`` and ``verify`` share one exit-code contract: 0 (all
+clean / verified), 1 (findings: a diagnostic past the severity
+threshold, or a failed verdict), 2 (usage: unknown registry program or
+malformed flag value), 3 (infrastructure: the analysis itself crashed,
+a program was quarantined, the sweep was interrupted, or the pool
+degraded to serial).  tests/test_cli_exits.py pins the matrix.
 """
 
 from __future__ import annotations
@@ -26,10 +32,10 @@ import json
 import sys
 
 
-def _run_lint(args: argparse.Namespace) -> int:
+def _render_diagnostics(args: argparse.Namespace, sweep, tool: str) -> int:
+    """Shared lint/race driver: sweep, select, render, exit-code."""
     from .analysis import (
         Severity,
-        lint_registry,
         render_json,
         render_text,
         select,
@@ -37,18 +43,33 @@ def _run_lint(args: argparse.Namespace) -> int:
     )
 
     try:
-        reports = lint_registry(names=args.program or None)
+        reports = sweep(names=args.program or None)
     except KeyError as exc:
-        print(f"fcsl-lint: {exc.args[0]}", file=sys.stderr)
+        print(f"{tool}: {exc.args[0]}", file=sys.stderr)
         return 2
+    except Exception as exc:  # noqa: BLE001 - analysis crash is infra, not usage
+        print(f"{tool}: internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
     diagnostics = select(reports, codes=args.select or None)
     if args.format == "json":
-        print(render_json(diagnostics))
+        print(render_json(diagnostics, tool=tool))
     else:
-        print(render_text(diagnostics))
+        print(render_text(diagnostics, tool=tool))
     worst = worst_severity(diagnostics)
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     return 1 if worst is not None and worst >= threshold else 0
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint_registry
+
+    return _render_diagnostics(args, lint_registry, "fcsl-lint")
+
+
+def _run_race(args: argparse.Namespace) -> int:
+    from .analysis import race_registry
+
+    return _render_diagnostics(args, race_registry, "fcsl-race")
 
 
 def _run_verify(args: argparse.Namespace) -> int:
@@ -68,6 +89,7 @@ def _run_verify(args: argparse.Namespace) -> int:
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
             prepass=not args.no_prepass,
+            por=args.por,
             timeout=args.timeout,
             retries=args.retries,
             faults=plan,
@@ -140,30 +162,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command")
 
+    def add_diag_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--format",
+            choices=("text", "json"),
+            default="text",
+            help="output renderer (default: text)",
+        )
+        p.add_argument(
+            "--select",
+            action="append",
+            metavar="FCSL0xx",
+            help="only report codes with this prefix (repeatable)",
+        )
+        p.add_argument(
+            "--program",
+            action="append",
+            metavar="NAME",
+            help="only analyse this registry program (repeatable)",
+        )
+        p.add_argument(
+            "--strict",
+            action="store_true",
+            help="exit non-zero on warnings too, not only errors",
+        )
+
     lint = sub.add_parser("lint", help="run fcsl-lint over the registry")
-    lint.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="output renderer (default: text)",
+    add_diag_options(lint)
+
+    race = sub.add_parser(
+        "race",
+        help="run the fcsl-race interference/commutativity rules (FCSL045+)",
     )
-    lint.add_argument(
-        "--select",
-        action="append",
-        metavar="FCSL0xx",
-        help="only report codes with this prefix (repeatable)",
-    )
-    lint.add_argument(
-        "--program",
-        action="append",
-        metavar="NAME",
-        help="only lint this registry program (repeatable)",
-    )
-    lint.add_argument(
-        "--strict",
-        action="store_true",
-        help="exit non-zero on warnings too, not only errors",
-    )
+    add_diag_options(race)
 
     verify = sub.add_parser(
         "verify", help="run the registry verification sweep (parallel, cached)"
@@ -186,6 +217,12 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the fcsl-lint static pre-pass (pure dynamic checking)",
     )
     verify.add_argument(
+        "--por",
+        action="store_true",
+        help="enable partial-order reduction: expand statically-independent "
+        "threads alone (verdict-preserving; default off)",
+    )
+    verify.add_argument(
         "--inject",
         action="append",
         metavar="SPEC",
@@ -201,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "race":
+        return _run_race(args)
     if args.command == "verify":
         return _run_verify(args)
     if args.command == "eval":

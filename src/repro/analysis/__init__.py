@@ -5,6 +5,10 @@ Entry points:
 
 * :func:`repro.analysis.runner.lint_registry` — sweep the Table 1 case
   studies (the ``python -m repro lint`` CLI).
+* :func:`repro.analysis.race.race_registry` — the race/interference
+  rules alone (the ``python -m repro race`` CLI).
+* :func:`repro.analysis.interference.analyze_program` — the footprint /
+  commutativity analysis behind ``explore(..., por=True)``.
 * :func:`repro.analysis.prepass.static_prepass` — context manager that
   lets the dynamic verifiers skip provably-redundant stability
   obligations.
@@ -19,16 +23,33 @@ from .diagnostics import (
     select,
     worst_severity,
 )
+from .interference import (
+    Footprint,
+    ProgramInterference,
+    action_footprint,
+    analyze_config,
+    analyze_program,
+    footprints_conflict,
+)
 from .prepass import StaticPrepass, static_prepass
+from .race import race_registry, race_target
 from .runner import lint_registry, lint_target
 
 __all__ = [
     "CODES",
     "Diagnostic",
+    "Footprint",
+    "ProgramInterference",
     "Severity",
     "StaticPrepass",
+    "action_footprint",
+    "analyze_config",
+    "analyze_program",
+    "footprints_conflict",
     "lint_registry",
     "lint_target",
+    "race_registry",
+    "race_target",
     "render_json",
     "render_text",
     "select",

@@ -14,7 +14,7 @@ change.  New rules take the next free number in their block:
 * ``FCSL01x`` — atomic-action rules
 * ``FCSL02x`` — spec / assertion rules
 * ``FCSL03x`` — program (DSL) rules
-* ``FCSL04x`` — PCM algebra rules
+* ``FCSL04x`` — PCM algebra rules (040-044), race/interference rules (045-)
 """
 
 from __future__ import annotations
@@ -171,6 +171,31 @@ CODES: dict[str, tuple[Severity, str, str]] = {
         "validity-not-monotone",
         "a valid join has an invalid sub-element (validity must be monotone)",
     ),
+    # -- races / interference (fcsl-race) ----------------------------------------
+    "FCSL045": (
+        Severity.ERROR,
+        "non-atomic-rmw",
+        "a joint-heap cell is read and later written non-atomically while the "
+        "protocol lets the environment change it in between",
+    ),
+    "FCSL046": (
+        Severity.WARNING,
+        "stale-read-no-recheck",
+        "a value read from an interference-prone cell guards later writes but "
+        "no downstream action's guard ever rechecks the cell",
+    ),
+    "FCSL047": (
+        Severity.ERROR,
+        "unstable-other-assertion",
+        "an assertion sensitive to other-thread state is not closed under the "
+        "declared concurroid transitions",
+    ),
+    "FCSL048": (
+        Severity.ERROR,
+        "foreign-footprint",
+        "an action's observed heap footprint escapes its own concurroid's "
+        "labelled components",
+    ),
 }
 
 
@@ -265,7 +290,7 @@ def worst_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
     return max((d.severity for d in diagnostics), default=None)
 
 
-def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+def render_text(diagnostics: Sequence[Diagnostic], *, tool: str = "fcsl-lint") -> str:
     """The human report: one line per finding plus a summary line."""
     lines = [d.render() for d in diagnostics]
     counts = {sev: 0 for sev in Severity}
@@ -274,18 +299,18 @@ def render_text(diagnostics: Sequence[Diagnostic]) -> str:
     summary = ", ".join(
         f"{n} {sev}(s)" for sev, n in sorted(counts.items(), reverse=True) if n
     )
-    lines.append(f"fcsl-lint: {summary or 'clean'}")
+    lines.append(f"{tool}: {summary or 'clean'}")
     return "\n".join(lines)
 
 
-def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+def render_json(diagnostics: Sequence[Diagnostic], *, tool: str = "fcsl-lint") -> str:
     """The machine report: a JSON object with findings and counts."""
     counts = {str(sev): 0 for sev in Severity}
     for d in diagnostics:
         counts[str(d.severity)] += 1
     return json.dumps(
         {
-            "tool": "fcsl-lint",
+            "tool": tool,
             "diagnostics": [d.to_json() for d in diagnostics],
             "counts": counts,
         },

@@ -16,6 +16,7 @@ from .diagnostics import Diagnostic
 from .pcm_rules import lint_pcm
 from .programs import lint_prog
 from .protocol import lint_concurroid
+from .race import race_target
 from .specs import lint_auto_assertions, lint_spec
 from .targets import TARGET_BUILDERS, LintTarget, target_for
 
@@ -52,6 +53,7 @@ def lint_target(target: LintTarget) -> list[Diagnostic]:
         )
     for pcm in target.pcms:
         out.extend(lint_pcm(pcm, subject=target.program))
+    out.extend(race_target(target))
     return out
 
 

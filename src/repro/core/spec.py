@@ -57,6 +57,10 @@ class TripleOutcome:
     explored: int = 0
     terminals: int = 0
     truncated: int = 0
+    #: sibling expansions skipped by partial-order reduction (0 without it)
+    por_pruned: int = 0
+    #: whether a POR oracle was active for this scenario's exploration
+    por_active: bool = False
 
     @property
     def ok(self) -> bool:

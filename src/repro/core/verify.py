@@ -17,6 +17,7 @@ wall time and outcome; the Table 1 bench aggregates these reports.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -54,6 +55,34 @@ def set_prepass(prepass) -> None:
 def get_prepass():
     """The currently installed static pre-pass, or ``None``."""
     return _PREPASS
+
+
+# -- the partial-order-reduction default --------------------------------------------------
+#
+# check_triple threads ``por`` to explore(); the process default below is
+# what ``por=None`` resolves to.  It is mirrored into the REPRO_POR
+# environment variable so engine pool workers inherit it under any
+# multiprocessing start method.
+
+_POR_ENV = "REPRO_POR"
+_POR_DEFAULT: bool | None = None
+
+
+def set_por_default(flag: bool | None) -> None:
+    """Set (or with ``None`` clear) the process-wide POR default."""
+    global _POR_DEFAULT
+    _POR_DEFAULT = flag
+    if flag is None:
+        os.environ.pop(_POR_ENV, None)
+    else:
+        os.environ[_POR_ENV] = "1" if flag else "0"
+
+
+def por_default() -> bool:
+    """The current POR default (module global, else the REPRO_POR env)."""
+    if _POR_DEFAULT is not None:
+        return _POR_DEFAULT
+    return os.environ.get(_POR_ENV, "") == "1"
 
 
 # Skip attribution is scoped, not global: each in-flight obligation pushes
@@ -250,6 +279,7 @@ def check_triple(
     env_budget: int = 0,
     max_configs: int = 200_000,
     domination: bool = True,
+    por: bool | None = None,
 ) -> list[TripleOutcome]:
     """Check ``spec`` on every scenario by exhaustive schedule exploration.
 
@@ -258,10 +288,34 @@ def check_triple(
     is explored; terminal configurations must satisfy the postcondition
     against the root thread's final subjective view and the initial
     snapshot.
+
+    ``por`` enables partial-order reduction: a per-scenario interference
+    oracle (built by the installed static pre-pass when it offers one,
+    else directly) lets the explorer expand a provably-commuting thread
+    alone.  ``None`` defers to :func:`por_default` — off unless the
+    process (or ``REPRO_POR``) opted in.  Analysis trouble silently
+    falls back to the unreduced search: POR may only ever prune
+    schedules, never change a verdict (tests/test_por_equiv.py gates
+    this per registry program).
     """
     # Imported here to break the core <-> semantics import cycle.
     from ..semantics.explore import explore
     from ..semantics.interp import initial_config
+
+    use_por = por_default() if por is None else por
+
+    def oracle_for(scenario: Scenario):
+        if not use_por:
+            return None
+        try:
+            prepass = get_prepass()
+            if prepass is not None and hasattr(prepass, "interference"):
+                return prepass.interference(world, scenario.init, scenario.prog)
+            from ..analysis.interference import analyze_program
+
+            return analyze_program(world, scenario.init, scenario.prog)
+        except Exception:  # noqa: BLE001 - analysis bugs must not fail verdicts
+            return None
 
     outcomes: list[TripleOutcome] = []
     for scenario in scenarios:
@@ -294,10 +348,13 @@ def check_triple(
             max_configs=max_configs,
             on_terminal=on_terminal,
             domination=domination,
+            por=oracle_for(scenario),
         )
         outcome.explored = result.explored
         outcome.terminals = len(result.terminals)
         outcome.truncated = result.truncated
+        outcome.por_pruned = result.por_pruned
+        outcome.por_active = result.por_active
         outcome.issues.extend(str(v) for v in result.violations)
     return outcomes
 

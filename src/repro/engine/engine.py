@@ -40,10 +40,17 @@ import multiprocessing
 import os
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from ..core.verify import CATEGORIES, VerificationReport, set_prepass
+from ..core.verify import (
+    CATEGORIES,
+    VerificationReport,
+    por_default,
+    set_por_default,
+    set_prepass,
+)
 from ..structures.registry import ProgramInfo, all_programs
 from .cache import ObligationCache
 from .faults import FaultPlan, maybe_inject, plan_installed
@@ -256,6 +263,23 @@ def _uninstall_worker_prepass() -> None:
     set_prepass(None)
 
 
+@contextmanager
+def _por_installed(flag: bool):
+    """Make ``flag`` the process POR default for the duration of a sweep.
+
+    ``set_por_default`` mirrors the flag into ``REPRO_POR``, so pool
+    workers pick it up under *any* multiprocessing start method: fork
+    children inherit the module global directly, spawn children re-read
+    the environment.  The previous default is restored on exit so sweeps
+    never leak their setting into the caller's process."""
+    previous = por_default()
+    set_por_default(flag)
+    try:
+        yield
+    finally:
+        set_por_default(previous)
+
+
 def _verify_one(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
     """Run one case study's verifier; returns a picklable payload.
 
@@ -387,6 +411,7 @@ def sweep(
     cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
     prepass: bool = True,
+    por: bool = False,
     timeout: float | None = None,
     retries: int = 1,
     backoff: float = 0.25,
@@ -396,6 +421,12 @@ def sweep(
     """Verify ``programs``, replaying cached verdicts and fanning the rest
     out over ``jobs`` supervised worker processes (``None`` = one per
     case study, capped by CPU count; ``1`` = serial in-process, no pool).
+
+    ``por`` turns on partial-order reduction in every ``check_triple``
+    of the sweep (installed as the process default for its duration, so
+    pool workers inherit it).  Verdicts are unaffected by construction —
+    POR only prunes provably-commuting interleavings — so cached reports
+    from non-POR runs stay valid and are still replayed.
 
     ``timeout`` bounds each program's wall clock per attempt (pool path
     only); ``retries`` re-dispatches crashed/timed-out/raised programs
@@ -442,7 +473,7 @@ def sweep(
     if pending:
         # The plan stays installed through the store loop below: torn
         # cache writes are a cache-site fault, fired in this process.
-        with plan_installed(plan):
+        with _por_installed(por), plan_installed(plan):
             if jobs == 1:
                 results, interrupted = _serial_results(pending, prepass=prepass)
             elif not supervised:
@@ -534,6 +565,7 @@ def run_sweep(
     cache: bool = True,
     cache_dir: str | os.PathLike | None = None,
     prepass: bool = True,
+    por: bool = False,
     timeout: float | None = None,
     retries: int = 1,
     backoff: float = 0.25,
@@ -547,6 +579,7 @@ def run_sweep(
         cache=cache,
         cache_dir=cache_dir,
         prepass=prepass,
+        por=por,
         timeout=timeout,
         retries=retries,
         backoff=backoff,

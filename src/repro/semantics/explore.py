@@ -49,6 +49,14 @@ class ExplorationResult:
     violations: list[Violation] = field(default_factory=list)
     explored: int = 0
     truncated: int = 0
+    #: Configurations whose position key could not be computed: they fall
+    #: back to tree search.  Nonzero on a healthy model is a fingerprinting
+    #: regression — dedup silently degrading is exactly what this surfaces.
+    unfingerprinted: int = 0
+    #: Sibling expansions skipped by the partial-order reduction.
+    por_pruned: int = 0
+    #: Whether a POR oracle was consulted during this exploration.
+    por_active: bool = False
 
     @property
     def ok(self) -> bool:
@@ -58,10 +66,51 @@ class ExplorationResult:
         return [c.result for c in self.terminals]
 
     def summary(self) -> str:
-        return (
+        body = (
             f"explored={self.explored} terminals={len(self.terminals)} "
             f"truncated={self.truncated} violations={len(self.violations)}"
         )
+        if self.unfingerprinted:
+            body += f" unfingerprinted={self.unfingerprinted}"
+        if self.por_active:
+            body += f" por_pruned={self.por_pruned}"
+        return body
+
+
+def _ample_tid(current: Config, tids: list[int], oracle: Any) -> tuple[int | None, int]:
+    """The singleton ample set at ``current``, or ``(None, 0)`` for full
+    expansion.
+
+    Preconditions checked here (every one fails open to full expansion):
+    each runnable thread's pending instance must be known to the oracle,
+    its view must be a member of the modelled state family (so the static
+    commutation facts apply at this configuration), and its pending action
+    must be safe (so crashes are always witnessed by the full expansion).
+    Given that, the lowest thread whose pending instance is independent of
+    *every* statically-parallel instance is a sound singleton ample set.
+    """
+    pending = []
+    for tid in tids:
+        key = current.pending_action(tid)
+        if key is None or not oracle.knows(key):
+            return None, 0
+        try:
+            view = current.view_for(tid)
+        except Exception:  # noqa: BLE001 - unviewable thread: fail open
+            return None, 0
+        if not oracle.view_in_family(view):
+            return None, 0
+        node = oracle.action_of(key)
+        try:
+            if not node.action.safe(view, *node.args):
+                return None, 0
+        except Exception:  # noqa: BLE001 - crashing guard: fail open
+            return None, 0
+        pending.append((tid, key))
+    for tid, key in pending:
+        if oracle.key_eligible(key):
+            return tid, len(tids) - 1
+    return None, 0
 
 
 def explore(
@@ -73,6 +122,7 @@ def explore(
     on_terminal: Callable[[Config], str | None] | None = None,
     dedupe: bool = True,
     domination: bool = True,
+    por: Any = None,
 ) -> ExplorationResult:
     """Exhaustive DFS over schedules (and interference, up to ``env_budget``).
 
@@ -92,8 +142,28 @@ def explore(
     exact ``env_used`` instead (``domination=False``, the historical
     behaviour) re-expands positions that a cheaper earlier visit fully
     covered; it is kept for A/B measurement and regression tests.
+
+    ``por`` (default off, A/B-able like ``domination``) enables
+    partial-order reduction from statically proven independence: pass a
+    :class:`repro.analysis.interference.ProgramInterference` oracle, or
+    ``True`` to build one from ``config``.  At configurations where the
+    interference budget is spent, a thread whose pending action provably
+    commutes with everything parallel threads may run is expanded *alone*
+    (a deterministic singleton ample set); every precondition failure
+    falls back to full expansion, so the reduction only ever prunes
+    schedules the commutation facts cover.  Verdict and terminal-set
+    equality against the unreduced search is gated per registry program
+    in tests/test_por_equiv.py.
     """
+    oracle: Any = por if por not in (None, False, True) else None
+    if por is True:
+        from ..analysis.interference import analyze_config
+
+        oracle = analyze_config(config)
+    if oracle is not None and not getattr(oracle, "enabled", False):
+        oracle = None
     result = ExplorationResult()
+    result.por_active = oracle is not None
     stack: list[tuple[Config, int]] = [(config, 0)]
     #: position key -> recorded (env_used, steps, config) visits.  Configs
     #: are kept alive so id-based fingerprint components are never recycled.
@@ -105,6 +175,7 @@ def explore(
                 pos = current.position_key()
             except Exception:  # noqa: BLE001 - unfingerprintable: fall back
                 pos = None
+                result.unfingerprinted += 1
             if pos is not None:
                 visits = seen.setdefault(pos, [])
                 if domination:
@@ -148,7 +219,21 @@ def explore(
         if current.steps >= max_steps:
             result.truncated += 1
             continue
-        for tid in current.runnable_threads():
+        tids = sorted(current.runnable_threads())
+        if (
+            oracle is not None
+            and dedupe
+            and env_used >= env_budget
+            and len(tids) > 1
+        ):
+            # With the interference budget spent, no env successor is
+            # injected below this configuration, so the only branching is
+            # the thread choice — the one an ample singleton may restrict.
+            chosen, skipped = _ample_tid(current, tids, oracle)
+            if chosen is not None:
+                tids = [chosen]
+                result.por_pruned += skipped
+        for tid in tids:
             try:
                 stack.append((do_action(current, tid), env_used))
             except VerificationError as exc:

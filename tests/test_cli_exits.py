@@ -1,0 +1,122 @@
+"""The CLI exit-code contract: lint, race and verify agree.
+
+All three subcommands share one mapping — 0 all clean / verified, 1
+findings (diagnostic past the severity threshold, failed verdict), 2
+usage (unknown program, malformed flag), 3 infrastructure (the analysis
+crashed, a program was quarantined, the sweep degraded).  CI and
+scripting depend on the distinction: a 1 is a defect in the code under
+analysis, a 3 is a defect in the analyzer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.diagnostics import Diagnostic
+
+
+def _error_diag() -> Diagnostic:
+    return Diagnostic("FCSL045", "synthetic rmw race", subject="fake", obj="a;b")
+
+
+def _warning_diag() -> Diagnostic:
+    return Diagnostic("FCSL046", "synthetic stale read", subject="fake", obj="a")
+
+
+# -- usage errors: exit 2 ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cmd", ["lint", "race"])
+def test_unknown_program_is_usage_error(cmd, capsys):
+    assert main([cmd, "--program", "No such program"]) == 2
+    assert "No such program" in capsys.readouterr().err
+
+
+def test_verify_unknown_program_is_usage_error(capsys):
+    assert main(["verify", "--program", "No such program"]) == 2
+
+
+def test_verify_bad_fault_spec_is_usage_error(capsys):
+    assert main(["verify", "--inject", "not-a-spec"]) == 2
+
+
+# -- findings vs clean vs infra (patched sweeps: the real registry is clean
+# and must stay that way, so severity paths are driven synthetically) ------------------
+
+
+@pytest.fixture
+def patched(monkeypatch):
+    def patch(cmd: str, fn) -> None:
+        name = {"lint": "lint_registry", "race": "race_registry"}[cmd]
+        monkeypatch.setattr(f"repro.analysis.{name}", fn)
+
+    return patch
+
+
+@pytest.mark.parametrize("cmd", ["lint", "race"])
+def test_clean_sweep_exits_zero(cmd, patched, capsys):
+    patch = patched
+    patch(cmd, lambda names=None: [])
+    assert main([cmd]) == 0
+    tool = {"lint": "fcsl-lint", "race": "fcsl-race"}[cmd]
+    assert f"{tool}: clean" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("cmd", ["lint", "race"])
+def test_error_finding_exits_one(cmd, patched, capsys):
+    patched(cmd, lambda names=None: [_error_diag()])
+    assert main([cmd]) == 1
+    assert "FCSL045" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("cmd", ["lint", "race"])
+def test_warning_needs_strict_to_fail(cmd, patched, capsys):
+    patched(cmd, lambda names=None: [_warning_diag()])
+    assert main([cmd]) == 0
+    assert main([cmd, "--strict"]) == 1
+
+
+@pytest.mark.parametrize("cmd", ["lint", "race"])
+def test_analysis_crash_is_infra(cmd, patched, capsys):
+    def boom(names=None):
+        raise RuntimeError("synthetic analyzer bug")
+
+    patched(cmd, boom)
+    assert main([cmd]) == 3
+    assert "internal error" in capsys.readouterr().err
+
+
+# -- verify mirrors the same contract via SweepResult.exit_code() ----------------------
+
+
+class _FakeSweep:
+    def __init__(self, code: int):
+        self._code = code
+
+    def exit_code(self) -> int:
+        return self._code
+
+    def to_dict(self) -> dict:
+        return {"outcomes": []}
+
+    def render(self) -> str:
+        return "fake sweep"
+
+
+@pytest.mark.parametrize("code", [0, 1, 3])
+def test_verify_propagates_sweep_exit_code(code, monkeypatch, capsys):
+    monkeypatch.setattr(
+        "repro.engine.run_sweep", lambda **kwargs: _FakeSweep(code)
+    )
+    assert main(["verify"]) == code
+
+
+# -- the real registry is clean end-to-end --------------------------------------------
+
+
+def test_race_clean_on_real_registry(capsys):
+    """Zero false positives: the race rules on the actual case studies."""
+    assert main(["race", "--format", "json"]) == 0
+    out = capsys.readouterr().out
+    assert '"tool": "fcsl-race"' in out

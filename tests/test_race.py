@@ -1,0 +1,271 @@
+"""fcsl-race rule tests: seeded defects fire, the clean registry does not.
+
+The fixtures build a deliberately undisciplined shared counter — a joint
+cell anyone may bump, with *no* ownership discipline — which is exactly
+the protocol shape each FCSL045+ rule exists to flag:
+
+* an unprotected read-then-write program (non-atomic RMW, FCSL045);
+* a stale read guarding a later write with no recheck (FCSL046);
+* an assertion about the counter that interference falsifies (FCSL047);
+* an action reaching into another concurroid's heap (FCSL048).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+import pytest
+
+from repro.core.action import Action
+from repro.core.autostab import AutoAssertion
+from repro.core.concurroid import Concurroid, Transition
+from repro.core.prog import act, bind, seq
+from repro.core.state import State, SubjState, state_of
+from repro.heap import Heap, heap_of, ptr
+from repro.pcm.base import PCM, UnitPCM
+from repro.analysis.race import race_registry, race_target
+from repro.analysis.targets import LintTarget, bounded_closure
+
+C = ptr(7)
+D = ptr(8)
+
+
+class RacyCounter(Concurroid):
+    """A joint counter cell any thread may bump — no ownership at all."""
+
+    def __init__(self, label: str = "rc", cell=C, bound: int = 3):
+        self._label = label
+        self._cell = cell
+        self._bound = bound
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return (self._label,)
+
+    def coherent(self, state: State) -> bool:
+        if self._label not in state:
+            return False
+        joint = state.joint_of(self._label)
+        return isinstance(joint, Heap) and self._cell in joint
+
+    def transitions(self) -> Sequence[Transition]:
+        lbl, cell, bound = self._label, self._cell, self._bound
+
+        def params(state: State) -> Iterator[Any]:
+            if state.joint_of(lbl)[cell] < bound:
+                yield None
+
+        def requires(state: State, param: Any) -> bool:
+            return state.joint_of(lbl)[cell] < bound
+
+        def effect(state: State, param: Any) -> State:
+            return state.update(
+                lbl,
+                lambda c: c.with_joint(c.joint.update(cell, c.joint[cell] + 1)),
+            )
+
+        return (Transition(f"{lbl}.bump", requires, effect, params),)
+
+    def pcms(self) -> Mapping[str, PCM]:
+        return {self._label: UnitPCM()}
+
+
+class ReadCell(Action):
+    def __init__(self, conc: RacyCounter, cell):
+        super().__init__(conc)
+        self._cell = cell
+        self.name = f"{conc.labels[0]}.read"
+
+    def safe(self, state: State, *args: Any) -> bool:
+        lbl = self.concurroid.labels[0]
+        return lbl in state and self._cell in state.joint_of(lbl)
+
+    def step(self, state: State, *args: Any) -> tuple[Any, State]:
+        return state.joint_of(self.concurroid.labels[0])[self._cell], state
+
+
+class WriteCell(Action):
+    """An unconditional write: the guard never re-reads the cell."""
+
+    def __init__(self, conc: RacyCounter, cell):
+        super().__init__(conc)
+        self._cell = cell
+        self.name = f"{conc.labels[0]}.write"
+
+    def safe(self, state: State, value: Any) -> bool:
+        lbl = self.concurroid.labels[0]
+        return lbl in state and self._cell in state.joint_of(lbl)
+
+    def step(self, state: State, value: Any) -> tuple[None, State]:
+        lbl = self.concurroid.labels[0]
+        return None, state.update(
+            lbl, lambda c: c.with_joint(c.joint.update(self._cell, value))
+        )
+
+
+class SneakyWrite(Action):
+    """Declared on ``rc`` but writes into the ``fr`` concurroid's heap."""
+
+    def __init__(self, conc: RacyCounter, foreign_label: str, cell):
+        super().__init__(conc)
+        self._foreign = foreign_label
+        self._cell = cell
+        self.name = f"{conc.labels[0]}.sneaky"
+
+    def safe(self, state: State, *args: Any) -> bool:
+        return self._foreign in state
+
+    def step(self, state: State, *args: Any) -> tuple[None, State]:
+        return None, state.update(
+            self._foreign,
+            lambda c: c.with_joint(c.joint.update(self._cell, 9)),
+        )
+
+
+@pytest.fixture(scope="module")
+def racy():
+    conc = RacyCounter()
+    unit = UnitPCM().unit
+    init = state_of(rc=SubjState(unit, heap_of({C: 0, D: 0}), unit))
+    states, exhaustive = bounded_closure(conc, [init])
+    assert exhaustive
+    return conc, tuple(states)
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+def test_non_atomic_rmw_fires_fcsl045(racy):
+    conc, states = racy
+    read, write = ReadCell(conc, C), WriteCell(conc, C)
+    rmw = bind(act(read), lambda v: act(write, v + 1))
+    target = LintTarget(
+        program="fixture-rmw",
+        concurroids=(conc,),
+        states=states,
+        programs=((rmw, "rmw", None),),
+    )
+    diags = race_target(target)
+    assert "FCSL045" in codes(diags)
+    hit = next(d for d in diags if d.code == "FCSL045")
+    assert "read-modify-write" in hit.message
+    assert hit.subject == "fixture-rmw"
+
+
+def test_stale_read_fires_fcsl046(racy):
+    conc, states = racy
+    read, write_d = ReadCell(conc, C), WriteCell(conc, D)
+    stale = seq(act(read), act(write_d, 7))
+    target = LintTarget(
+        program="fixture-stale",
+        concurroids=(conc,),
+        states=states,
+        programs=((stale, "stale", None),),
+    )
+    diags = race_target(target)
+    assert "FCSL046" in codes(diags)
+    # and no FCSL045: the read and the write touch different cells
+    assert "FCSL045" not in codes(diags)
+
+
+def test_guard_recheck_suppresses_both(racy):
+    """A downstream guard that re-reads the cell is the CAS pattern: no
+    RMW finding, no staleness finding."""
+    conc, states = racy
+    read = ReadCell(conc, C)
+
+    class CheckedWrite(WriteCell):
+        def safe(self, state: State, value: Any) -> bool:
+            lbl = self.concurroid.labels[0]
+            # re-reads the cell: the value check makes the write a CAS
+            return lbl in state and state.joint_of(lbl)[self._cell] <= value
+
+    checked = CheckedWrite(conc, C)
+    prog = bind(act(read), lambda v: act(checked, v + 1))
+    target = LintTarget(
+        program="fixture-cas",
+        concurroids=(conc,),
+        states=states,
+        programs=((prog, "cas", None),),
+    )
+    assert codes(race_target(target)) == []
+
+
+def test_unstable_assertion_fires_fcsl047(racy):
+    conc, states = racy
+    target = LintTarget(
+        program="fixture-unstable",
+        concurroids=(conc,),
+        states=states,
+        assertions=(
+            AutoAssertion(
+                name="counter-still-zero",
+                predicate=lambda s: s.joint_of("rc")[C] == 0,
+                shape="opaque",
+            ),
+        ),
+    )
+    diags = race_target(target)
+    assert codes(diags) == ["FCSL047"]
+    assert "counter-still-zero" in diags[0].message
+
+
+def test_stable_assertion_is_clean(racy):
+    conc, states = racy
+    target = LintTarget(
+        program="fixture-stable",
+        concurroids=(conc,),
+        states=states,
+        assertions=(
+            AutoAssertion(
+                name="counter-bounded",
+                predicate=lambda s: 0 <= s.joint_of("rc")[C] <= 3,
+                shape="opaque",
+            ),
+        ),
+    )
+    assert codes(race_target(target)) == []
+
+
+def test_foreign_footprint_fires_fcsl048():
+    rc = RacyCounter(label="rc", cell=C)
+    fr = RacyCounter(label="fr", cell=D)
+    unit = UnitPCM().unit
+    state = state_of(
+        rc=SubjState(unit, heap_of({C: 0}), unit),
+        fr=SubjState(unit, heap_of({D: 0}), unit),
+    )
+    sneaky = SneakyWrite(rc, "fr", D)
+    target = LintTarget(
+        program="fixture-foreign",
+        concurroids=(rc, fr),
+        states=(state,),
+        actions=((sneaky, ((),)),),
+    )
+    diags = race_target(target)
+    assert codes(diags) == ["FCSL048"]
+    assert "fr" in diags[0].message
+
+
+def test_well_scoped_action_is_clean(racy):
+    conc, states = racy
+    target = LintTarget(
+        program="fixture-scoped",
+        concurroids=(conc,),
+        states=states,
+        actions=((ReadCell(conc, C), ((),)), (WriteCell(conc, C), ((1,),))),
+    )
+    assert codes(race_target(target)) == []
+
+
+# -- the registry stays clean -------------------------------------------------------------
+
+
+def test_clean_registry_no_race_findings():
+    assert race_registry() == []
+
+
+def test_race_registry_unknown_program():
+    with pytest.raises(KeyError):
+        race_registry(names=["No such program"])
