@@ -16,10 +16,19 @@ entry points.
 * ``python -m repro race`` — the interference/race rules alone
   (FCSL045+): per-action footprints, non-commuting pairs, race-shaped
   defects.
+* ``python -m repro profile`` — a tracing-on, cache-off sweep rendered
+  as a hotspot table (span wall times + explorer/cache counters); add
+  ``--trace`` for the raw Chrome-trace JSON.
+* ``python -m repro explain PROGRAM`` — re-run one program's verifier
+  with witness capture, minimize each counterexample by
+  replay-confirmed delta debugging, and print the annotated failing
+  interleavings (docs/OBSERVABILITY.md).  Exits 1 when witnesses were
+  found, 0 when the program verifies cleanly (nothing to explain).
 
-``lint``, ``race`` and ``verify`` share one exit-code contract: 0 (all
-clean / verified), 1 (findings: a diagnostic past the severity
-threshold, or a failed verdict), 2 (usage: unknown registry program or
+``lint``, ``race``, ``verify``, ``profile`` and ``explain`` share one
+exit-code contract: 0 (all clean / verified / nothing to explain), 1
+(findings: a diagnostic past the severity threshold, a failed verdict,
+or a counterexample witness), 2 (usage: unknown registry program or
 malformed flag value), 3 (infrastructure: the analysis itself crashed,
 a program was quarantined, the sweep was interrupted, or the pool
 degraded to serial).  tests/test_cli_exits.py pins the matrix.
@@ -72,8 +81,41 @@ def _run_race(args: argparse.Namespace) -> int:
     return _render_diagnostics(args, race_registry, "fcsl-race")
 
 
+def _dump_witnesses(result, directory: str, tool: str) -> None:
+    """Write every witness the sweep captured (one JSON file per program
+    with failures, plus an index) into ``directory`` — the CI artifact."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    index: dict[str, int] = {}
+    for outcome in result.outcomes:
+        if outcome.report is None:
+            continue
+        witnesses = [
+            {"obligation": o.name, "category": o.category, "witness": w}
+            for o in outcome.report.failures()
+            for w in o.witnesses
+        ]
+        if not witnesses:
+            continue
+        index[outcome.name] = len(witnesses)
+        path = os.path.join(directory, f"{outcome.name.replace('/', '-')}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"program": outcome.name, "witnesses": witnesses}, fh, indent=2)
+    with open(os.path.join(directory, "index.json"), "w", encoding="utf-8") as fh:
+        json.dump({"programs": index, "total": sum(index.values())}, fh, indent=2)
+    print(
+        f"{tool}: wrote {sum(index.values())} witness(es) for "
+        f"{len(index)} program(s) to {directory}",
+        file=sys.stderr,
+    )
+
+
 def _run_verify(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from .engine import FaultPlan, FaultSpecError, run_sweep
+    from .obs import tracer
 
     plan = None
     if args.inject:
@@ -82,26 +124,140 @@ def _run_verify(args: argparse.Namespace) -> int:
         except FaultSpecError as exc:
             print(f"repro-verify: {exc}", file=sys.stderr)
             return 2
+    session = tracer.tracing() if args.trace else nullcontext(None)
     try:
-        result = run_sweep(
-            names=args.program or None,
-            jobs=args.jobs,
-            cache=not args.no_cache,
-            cache_dir=args.cache_dir,
-            prepass=not args.no_prepass,
-            por=args.por,
-            timeout=args.timeout,
-            retries=args.retries,
-            faults=plan,
-        )
+        with session as tr:
+            result = run_sweep(
+                names=args.program or None,
+                jobs=args.jobs,
+                cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+                prepass=not args.no_prepass,
+                por=args.por,
+                timeout=args.timeout,
+                retries=args.retries,
+                faults=plan,
+            )
     except KeyError as exc:
         print(f"repro-verify: {exc.args[0]}", file=sys.stderr)
         return 2
+    if args.trace:
+        from .obs.export import write_chrome_trace
+
+        path = write_chrome_trace(tr.records, args.trace)
+        print(
+            f"repro-verify: wrote {len(tr.records)} trace event(s) to {path} "
+            "(load in Perfetto or chrome://tracing)",
+            file=sys.stderr,
+        )
+    if args.witness_dir:
+        _dump_witnesses(result, args.witness_dir, "repro-verify")
     if args.format == "json":
         print(json.dumps(result.to_dict(), indent=2))
     else:
         print(result.render())
     return result.exit_code()
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """A tracing-on sweep rendered as a hotspot table.
+
+    The cache is always bypassed: hotspots of a verdict replay would
+    profile JSON parsing, not verification.  Exit code is the sweep's.
+    """
+    from .engine import run_sweep
+    from .obs import tracer
+    from .obs.export import render_profile, write_chrome_trace
+
+    try:
+        with tracer.tracing() as tr:
+            result = run_sweep(
+                names=args.program or None,
+                jobs=args.jobs,
+                cache=False,
+                prepass=not args.no_prepass,
+                por=args.por,
+                timeout=args.timeout,
+                retries=args.retries,
+            )
+    except KeyError as exc:
+        print(f"repro-profile: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.trace:
+        write_chrome_trace(tr.records, args.trace)
+        print(
+            f"repro-profile: wrote {len(tr.records)} trace event(s) to "
+            f"{args.trace}",
+            file=sys.stderr,
+        )
+    print(render_profile(tr.records, limit=args.limit))
+    print()
+    print(result.render())
+    return result.exit_code()
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    """Re-verify one program with witness capture and explain its failures.
+
+    Exit codes: 1 = witnesses found (and rendered), 0 = the program
+    verifies cleanly (nothing to explain), 2 = unknown program, 3 = the
+    verifier itself crashed.
+    """
+    from .obs import witness as obs_witness
+    from .obs.minimize import minimize_witness
+    from .obs.render import render_witness
+    from .structures.registry import program
+
+    try:
+        info = program(args.program)
+    except KeyError as exc:
+        print(f"repro-explain: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        with obs_witness.capturing() as sink:
+            report = info.run_verifier()
+    except Exception as exc:  # noqa: BLE001 - verifier crash is infra
+        print(
+            f"repro-explain: verifier crashed: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 3
+    if not sink:
+        status = "verifies cleanly" if report.ok else (
+            "fails, but produced no witness (non-schedule failure — "
+            "see the report below)"
+        )
+        print(f"repro-explain: {info.name} {status}: no witness to explain")
+        if not report.ok:
+            print()
+            print(report.pretty())
+        return 0
+    rendered: list[str] = []
+    witnesses = []
+    for w in sink:
+        if not args.no_minimize and w.replayable:
+            w = minimize_witness(w, budget=args.budget)
+        witnesses.append(w)
+        rendered.append(render_witness(w))
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "program": info.name,
+                    "witnesses": [w.to_dict() for w in witnesses],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"repro-explain: {len(witnesses)} counterexample witness(es) "
+            f"for {info.name}"
+        )
+        for text in rendered:
+            print()
+            print(text)
+    return 1
 
 
 def _run_eval(args: argparse.Namespace) -> int:
@@ -230,7 +386,87 @@ def main(argv: list[str] | None = None) -> int:
         "'CAS-lock:crash@1' (kinds: crash, hang, raise, torn; repeatable, "
         "also via $REPRO_FAULTS)",
     )
+    verify.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record a Chrome-trace JSON of the sweep (obligations, "
+        "explorer prunes, cache hits, worker lifecycle) to FILE — "
+        "viewable in Perfetto or chrome://tracing",
+    )
+    verify.add_argument(
+        "--witness-dir",
+        default=None,
+        metavar="DIR",
+        help="dump every captured counterexample witness as JSON under DIR "
+        "(one file per failing program, plus index.json)",
+    )
     _add_engine_options(verify)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a tracing-on (cache-off) sweep and print the hotspot table",
+    )
+    profile.add_argument(
+        "--program",
+        action="append",
+        metavar="NAME",
+        help="only profile this registry program (repeatable)",
+    )
+    profile.add_argument(
+        "--no-prepass",
+        action="store_true",
+        help="skip the fcsl-lint static pre-pass (pure dynamic checking)",
+    )
+    profile.add_argument(
+        "--por",
+        action="store_true",
+        help="enable partial-order reduction during the profiled sweep",
+    )
+    profile.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also write the raw Chrome-trace JSON to FILE",
+    )
+    profile.add_argument(
+        "--limit",
+        type=int,
+        default=25,
+        metavar="N",
+        help="hotspot rows to print (default: 25)",
+    )
+    _add_engine_options(profile)
+
+    explain = sub.add_parser(
+        "explain",
+        help="re-verify one program with witness capture and print minimized "
+        "counterexample interleavings",
+    )
+    explain.add_argument(
+        "program",
+        metavar="PROGRAM",
+        help="registry program whose failure to explain",
+    )
+    explain.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output renderer (default: text)",
+    )
+    explain.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="print witnesses as captured, skipping delta-debugging "
+        "minimization",
+    )
+    explain.add_argument(
+        "--budget",
+        type=int,
+        default=500,
+        metavar="N",
+        help="max oracle replays per witness minimization (default: 500)",
+    )
 
     evaluate = sub.add_parser("eval", help="run the full evaluation (default)")
     _add_engine_options(evaluate)
@@ -242,6 +478,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_race(args)
     if args.command == "verify":
         return _run_verify(args)
+    if args.command == "profile":
+        return _run_profile(args)
+    if args.command == "explain":
+        return _run_explain(args)
     if args.command == "eval":
         return _run_eval(args)
 

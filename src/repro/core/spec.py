@@ -61,6 +61,9 @@ class TripleOutcome:
     por_pruned: int = 0
     #: whether a POR oracle was active for this scenario's exploration
     por_active: bool = False
+    #: serialized counterexample witnesses (:mod:`repro.obs.witness`
+    #: images) for this scenario's violations, capped per scenario
+    witnesses: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:

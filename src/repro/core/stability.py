@@ -101,6 +101,7 @@ def check_stability(
         if not conc.coherent(start) or not assertion(start):
             continue
         seen = {start: 0}
+        parents: dict[State, State] = {}
         frontier = deque([start])
         while frontier:
             current = frontier.popleft()
@@ -112,13 +113,63 @@ def check_stability(
                         f"stability exploration for {name!r} exceeded {max_states} states"
                     )
                 seen[succ] = seen[current] + 1
+                parents[succ] = current
                 if not assertion(succ):
-                    issues.append(StabilityIssue(name, start, succ, seen[succ]))
+                    issue = StabilityIssue(name, start, succ, seen[succ])
+                    issues.append(issue)
+                    _record_stability_witness(issue, parents)
                     if len(issues) >= max_issues:
                         return issues
                     continue  # don't explore past a broken state
                 frontier.append(succ)
     return issues
+
+
+def _record_stability_witness(
+    issue: StabilityIssue, parents: dict[State, State]
+) -> None:
+    """Capture the interference path of one stability counterexample as a
+    (render-only) witness for the innermost in-flight obligation.
+
+    Stability violations happen in *assertion space*, not under a running
+    program, so there is no schedule to replay — the witness is marked
+    ``unreplayable`` and carries the env path with each intermediate
+    state's rendered view.  Must never change a verdict: all trouble is
+    swallowed.
+    """
+    try:
+        from ..obs import witness as obs_witness
+        from ..obs.render import render_state
+        from .verify import record_witness
+
+        path = [issue.broken]
+        while path[-1] in parents:
+            path.append(parents[path[-1]])
+        path.reverse()  # start .. broken
+        steps = [
+            obs_witness.WitnessStep(
+                kind="env",
+                tid=-1,
+                label="interference",
+                view=render_state(state),
+            )
+            for state in path[1:]
+        ]
+        w = obs_witness.Witness(
+            scenario=f"stability:{issue.assertion}",
+            kind="stability",
+            message=str(issue),
+            steps=steps,
+            meta={
+                "unreplayable": True,
+                "start": render_state(issue.start),
+                "path": issue.path,
+            },
+        )
+        obs_witness.record(w)
+        record_witness(w.to_dict())
+    except Exception:  # noqa: BLE001 - observability must not fail proofs
+        pass
 
 
 def assert_stable(

@@ -20,9 +20,11 @@ from __future__ import annotations
 import os
 import threading
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+from ..obs import tracer as obs_tracer
 from .errors import SpecViolation
 from .spec import Scenario, Spec, TripleOutcome
 from .world import World
@@ -110,6 +112,39 @@ def record_prepass_skip(name: str) -> None:
         stack[-1].append(name)
 
 
+# Witness attribution uses the same scoped mechanism: a dynamic checker
+# that captures a counterexample interleaving (check_triple, the
+# stability checker) hands its serialized image to the innermost
+# in-flight obligation, which attaches it to the ObligationResult — so
+# witnesses reach every verifier's report with zero per-verifier
+# plumbing, and survive engine IPC / cache round-trips as plain dicts.
+_WITNESS_SCOPES = threading.local()
+
+#: Cap on witnesses attached per obligation: a weakened spec can fail at
+#: hundreds of terminals, and each capture costs one confirming replay.
+WITNESS_CAP = 3
+
+
+def _witness_stack() -> list[list[dict]]:
+    stack = getattr(_WITNESS_SCOPES, "stack", None)
+    if stack is None:
+        stack = _WITNESS_SCOPES.stack = []
+    return stack
+
+
+def record_witness(witness: dict) -> None:
+    """Attach one serialized counterexample witness to the obligation
+    currently being timed (no-op outside any obligation scope)."""
+    stack = _witness_stack()
+    if stack and len(stack[-1]) < WITNESS_CAP:
+        stack[-1].append(witness)
+
+
+#: Longest traceback recorded on an obligation that raised (the tail is
+#: kept: the innermost frames are the ones that name the bug).
+MAX_TRACEBACK_CHARS = 4_000
+
+
 @dataclass
 class ObligationResult:
     """One discharged (or failed) proof obligation."""
@@ -122,6 +157,13 @@ class ObligationResult:
     #: dynamic sub-obligations skipped because the static pre-pass
     #: proved their outcome empty
     prepass_skips: int = 0
+    #: serialized counterexample witnesses (:mod:`repro.obs.witness`
+    #: images) captured while this obligation failed — plain dicts, so
+    #: they round-trip through worker IPC and the obligation cache
+    witnesses: list[dict] = field(default_factory=list)
+    #: the (tail-truncated) traceback when the obligation *raised* —
+    #: distinguishes an infrastructure bug from a genuine proof failure
+    traceback: str | None = None
 
     def __str__(self) -> str:
         status = "ok" if self.ok else f"FAILED ({len(self.issues)} issue(s))"
@@ -130,7 +172,11 @@ class ObligationResult:
             if self.prepass_skips
             else ""
         )
-        return f"[{self.category}] {self.name}: {status} ({self.seconds:.3f}s){skipped}"
+        witnessed = f" [{len(self.witnesses)} witness(es)]" if self.witnesses else ""
+        return (
+            f"[{self.category}] {self.name}: {status} "
+            f"({self.seconds:.3f}s){skipped}{witnessed}"
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serializable image (engine IPC and the obligation cache)."""
@@ -141,6 +187,8 @@ class ObligationResult:
             "issues": list(self.issues),
             "seconds": self.seconds,
             "prepass_skips": self.prepass_skips,
+            "witnesses": [dict(w) for w in self.witnesses],
+            "traceback": self.traceback,
         }
 
     @classmethod
@@ -152,6 +200,8 @@ class ObligationResult:
             issues=[str(i) for i in data.get("issues", [])],
             seconds=float(data.get("seconds", 0.0)),
             prepass_skips=int(data.get("prepass_skips", 0)),
+            witnesses=[dict(w) for w in data.get("witnesses", [])],
+            traceback=data.get("traceback"),
         )
 
 
@@ -205,7 +255,10 @@ class VerificationReport:
     def raise_on_failure(self) -> None:
         if not self.ok:
             details = "\n".join(
-                f"{o.name}: " + "; ".join(o.issues[:3]) for o in self.failures()
+                f"{o.name}: "
+                + "; ".join(o.issues[:3])
+                + (f" (+{len(o.issues) - 3} more)" if len(o.issues) > 3 else "")
+                for o in self.failures()
             )
             raise SpecViolation(f"verification of {self.program} failed:\n{details}")
 
@@ -251,19 +304,45 @@ class ReportBuilder:
         scope: list[str] = []
         stack = _skip_stack()
         stack.append(scope)
+        witnesses: list[dict] = []
+        wstack = _witness_stack()
+        wstack.append(witnesses)
+        tb: str | None = None
         started = time.perf_counter()
         try:
             issues = [str(i) for i in fn()]
         except Exception as exc:  # noqa: BLE001 - recorded as a failed obligation
             issues = [f"raised {type(exc).__name__}: {exc}"]
+            tb = _traceback.format_exc()[-MAX_TRACEBACK_CHARS:]
         finally:
             stack.pop()
+            wstack.pop()
         elapsed = time.perf_counter() - started
         skips = len(scope)
         result = ObligationResult(
-            name, category, not issues, issues, elapsed, prepass_skips=skips
+            name,
+            category,
+            not issues,
+            issues,
+            elapsed,
+            prepass_skips=skips,
+            witnesses=witnesses,
+            traceback=tb,
         )
         self._report.obligations.append(result)
+        tr = obs_tracer.current()
+        if tr is not None:
+            tr.span(
+                name,
+                "obligation",
+                started * 1e6,
+                (started + elapsed) * 1e6,
+                category=category,
+                ok=result.ok,
+                issues=len(issues),
+                prepass_skips=skips,
+                witnesses=len(witnesses),
+            )
         return result
 
     def build(self) -> VerificationReport:
@@ -341,6 +420,7 @@ def check_triple(
                 )
             return None
 
+        started = time.perf_counter()
         result = explore(
             config,
             max_steps=max_steps,
@@ -350,13 +430,69 @@ def check_triple(
             domination=domination,
             por=oracle_for(scenario),
         )
+        tr = obs_tracer.current()
+        if tr is not None:
+            tr.span(
+                f"triple:{spec.name}:{scenario.label}",
+                "triple",
+                started * 1e6,
+                time.perf_counter() * 1e6,
+                explored=result.explored,
+                terminals=len(result.terminals),
+                violations=len(result.violations),
+                truncated=result.truncated,
+                env_budget=env_budget,
+            )
         outcome.explored = result.explored
         outcome.terminals = len(result.terminals)
         outcome.truncated = result.truncated
         outcome.por_pruned = result.por_pruned
         outcome.por_active = result.por_active
         outcome.issues.extend(str(v) for v in result.violations)
+        if result.violations:
+            _record_witnesses(
+                world, scenario, on_terminal, result.violations, max_steps, outcome
+            )
     return outcomes
+
+
+def _record_witnesses(
+    world: World,
+    scenario: Scenario,
+    check: Callable[[Any], str | None],
+    violations: Sequence[Any],
+    max_steps: int,
+    outcome: TripleOutcome,
+) -> None:
+    """Turn explorer violations into counterexample witnesses.
+
+    Each witness (capped at :data:`WITNESS_CAP` per scenario) is handed
+    to the active :func:`repro.obs.witness.capturing` scope live — with
+    replay handles — and attached serialized to the innermost obligation
+    via :func:`record_witness`.  Witness capture must never change a
+    verdict, so any trouble here is swallowed.
+    """
+    try:
+        from ..obs import witness as obs_witness
+
+        for violation in violations[:WITNESS_CAP]:
+            if getattr(violation, "trace", None) is None:
+                continue
+            w = obs_witness.from_violation(
+                violation,
+                scenario_label=scenario.label,
+                world=world,
+                init=scenario.init,
+                prog=scenario.prog,
+                check=check,
+            )
+            w.meta.setdefault("max_steps", max_steps)
+            obs_witness.record(w)
+            image = w.to_dict()
+            record_witness(image)
+            outcome.witnesses.append(image)
+    except Exception:  # noqa: BLE001 - observability must not fail verdicts
+        pass
 
 
 def triple_issues(outcomes: Iterable[TripleOutcome]) -> list[str]:

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Any
 
 from ..core.verify import VerificationReport
+from ..obs.tracer import instant as _trace_instant
 from .faults import maybe_torn_write
 from .fingerprint import CACHE_SCHEMA_VERSION
 
@@ -124,6 +125,9 @@ class ObligationCache:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
+        _trace_instant(
+            "cache:store", "cache", program=program, bytes=len(text)
+        )
         return path
 
     def _is_entry(self, path: Path) -> bool:

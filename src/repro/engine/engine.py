@@ -51,6 +51,7 @@ from ..core.verify import (
     set_por_default,
     set_prepass,
 )
+from ..obs import tracer as obs_tracer
 from ..structures.registry import ProgramInfo, all_programs
 from .cache import ObligationCache
 from .faults import FaultPlan, maybe_inject, plan_installed
@@ -292,20 +293,42 @@ def _verify_one(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
     """
     announce(info.name)
     maybe_inject(info.name, attempt)
+    if obs_tracer.local_session_needed():
+        # Pool worker under a tracing parent: collect a local trace and
+        # ship its (picklable) records home in the payload for ingestion.
+        with obs_tracer.tracing(mirror_env=False) as local:
+            payload = _verify_payload(info)
+        payload["trace"] = list(local.records)
+        return payload
+    return _verify_payload(info)
+
+
+def _verify_payload(info: ProgramInfo) -> dict[str, Any]:
     started = time.perf_counter()
     try:
         report = info.run_verifier()
     except Exception as exc:  # noqa: BLE001 - structured, not pickled
-        return {
+        payload: dict[str, Any] = {
             "status": "error",
             "seconds": time.perf_counter() - started,
             "error": exc_payload(exc, tb=traceback.format_exc()),
         }
-    return {
-        "status": "report",
-        "seconds": time.perf_counter() - started,
-        "report": report.to_dict(),
-    }
+    else:
+        payload = {
+            "status": "report",
+            "seconds": time.perf_counter() - started,
+            "report": report.to_dict(),
+        }
+    tr = obs_tracer.current()
+    if tr is not None:
+        tr.span(
+            f"verify:{info.name}",
+            "verify",
+            started * 1e6,
+            (started + payload["seconds"]) * 1e6,
+            status=payload["status"],
+        )
+    return payload
 
 
 def _verify_one_prepassed(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
@@ -440,6 +463,7 @@ def sweep(
     happened) instead of killing the run.
     """
     started = time.perf_counter()
+    tr = obs_tracer.current()
     plan = FaultPlan.parse(faults) if isinstance(faults, str) else faults
     store = ObligationCache(cache_dir) if cache else None
     outcomes: dict[str, ProgramOutcome] = {}
@@ -452,6 +476,8 @@ def sweep(
             t0 = time.perf_counter()
             hit = store.load(info.name, fingerprint)
             if hit is not None:
+                if tr is not None:
+                    tr.instant("cache:hit", "cache", program=info.name)
                 outcomes[info.name] = ProgramOutcome(
                     info.name,
                     hit,
@@ -461,6 +487,8 @@ def sweep(
                     status="ok" if hit.ok else "failed",
                 )
                 continue
+            if tr is not None:
+                tr.instant("cache:miss", "cache", program=info.name)
         pending.append(info)
 
     jobs = default_jobs(len(pending)) if jobs is None else max(1, jobs)
@@ -507,6 +535,10 @@ def sweep(
                         info.name, None, fingerprint, False, 0.0, status="crashed"
                     )
                     continue
+                if tr is not None and result.payload:
+                    # A pool worker's locally-collected trace rides home in
+                    # the payload; in-process runs traced directly already.
+                    tr.ingest(result.payload.get("trace") or [])
                 if result.status == "report":
                     report = VerificationReport.from_dict(result.payload["report"])
                     outcomes[info.name] = ProgramOutcome(
@@ -547,7 +579,7 @@ def sweep(
                         error=result.error,
                     )
 
-    return SweepResult(
+    result = SweepResult(
         outcomes=[outcomes[info.name] for info in programs],
         jobs=jobs,
         seconds=time.perf_counter() - started,
@@ -556,6 +588,19 @@ def sweep(
         interrupted=interrupted,
         warnings=warnings,
     )
+    if tr is not None:
+        tr.span(
+            "sweep",
+            "engine",
+            started * 1e6,
+            time.perf_counter() * 1e6,
+            programs=len(result.outcomes),
+            jobs=jobs,
+            cache_hits=result.hits,
+            degraded=degraded,
+            interrupted=interrupted,
+        )
+    return result
 
 
 def run_sweep(

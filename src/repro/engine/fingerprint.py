@@ -33,7 +33,8 @@ from ..semantics.interp import stable_digest
 from ..structures.registry import ProgramInfo
 
 #: Bump to invalidate every existing cache entry (layout changes).
-CACHE_SCHEMA_VERSION = 1
+#: 2: ObligationResult gained ``witnesses``/``traceback`` fields.
+CACHE_SCHEMA_VERSION = 2
 
 #: Top-level ``repro`` subpackages excluded from the framework digest:
 #: case studies are fingerprinted per program, and the evaluation /

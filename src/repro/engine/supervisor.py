@@ -43,6 +43,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..obs.tracer import instant as _trace_instant
 from ..structures.registry import ProgramInfo
 
 #: Final task statuses that denote an infrastructure problem (the sweep
@@ -213,6 +214,7 @@ class Supervisor:
         infrastructure is gone and the caller must degrade to serial."""
         self._teardown_pool()
         self.warnings.append(f"worker pool resurrected: {reason}")
+        _trace_instant("supervisor:resurrect", "engine", reason=reason)
         try:
             self._pool = self._make_pool()
         except Exception as exc:  # noqa: BLE001 - degrade, don't die
@@ -319,6 +321,9 @@ class Supervisor:
             except Exception as again:  # noqa: BLE001 - fresh pool broken too
                 raise _Degraded() from again
         active[task.name] = task
+        _trace_instant(
+            "supervisor:submit", "engine", program=task.name, attempt=task.attempt
+        )
 
     # -- event handling --------------------------------------------------------
 
@@ -363,6 +368,13 @@ class Supervisor:
                 error=payload.get("error"),
                 retries=task.retries,
                 seconds=task.elapsed(),
+            )
+            _trace_instant(
+                "supervisor:collect",
+                "engine",
+                program=name,
+                status=task.done.status,
+                seconds=task.done.seconds,
             )
 
     def _check_deadlines(
@@ -413,6 +425,9 @@ class Supervisor:
             if task.async_result.ready():
                 continue
             del active[name]
+            _trace_instant(
+                "supervisor:worker-death", "engine", program=name, pid=task.pid
+            )
             self._fault(
                 task,
                 "crashed",
@@ -446,6 +461,14 @@ class Supervisor:
         results: dict[str, TaskResult],
         error: dict[str, Any] | None = None,
     ) -> None:
+        _trace_instant(
+            "supervisor:fault",
+            "engine",
+            program=task.name,
+            kind=kind,
+            attempt=task.attempt,
+            will_retry=task.attempt <= self.config.retries,
+        )
         if task.attempt <= self.config.retries:
             task.retries += 1
             task.attempt += 1

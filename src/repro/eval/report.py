@@ -33,6 +33,7 @@ class EvaluationReport:
     figure5_text: str = ""
     lint_text: str = ""
     por_text: str = ""
+    hotspots_text: str = ""
     issues: list[str] = field(default_factory=list)
     seconds: float = 0.0
 
@@ -69,11 +70,45 @@ class EvaluationReport:
             "-" * 72,
             self.por_text,
             "",
+            "verification hotspots (slowest obligations across the sweep)",
+            "-" * 72,
+            self.hotspots_text,
+            "",
             "-" * 72,
             f"total wall time: {self.seconds:.1f}s",
             "status: " + ("ALL ARTIFACTS REPRODUCED" if self.ok else f"ISSUES: {self.issues}"),
         ]
         return "\n".join(parts)
+
+
+def _hotspots_section(sweep, limit: int = 10) -> str:
+    """The slowest obligations across the sweep's reports — where the
+    verification time actually goes (``repro profile`` gives the
+    span-level version; this one needs no tracing session because every
+    obligation already carries its wall time)."""
+    rows = [
+        (o.seconds, outcome.name, o)
+        for outcome in sweep.outcomes
+        if outcome.report is not None
+        for o in outcome.report.obligations
+    ]
+    if not rows:
+        return "(no obligations ran)"
+    rows.sort(key=lambda r: r[0], reverse=True)
+    lines = [f"{'program':<16} {'obligation':<34} {'cat':<5} {'seconds':>8}"]
+    for seconds, program, obligation in rows[:limit]:
+        lines.append(
+            f"{program:<16} {obligation.name[:34]:<34} "
+            f"{obligation.category:<5} {seconds:>7.3f}s"
+        )
+    total = sum(r[0] for r in rows)
+    shown = sum(r[0] for r in rows[:limit])
+    share = shown / total if total else 0.0
+    lines.append(
+        f"top {min(limit, len(rows))} of {len(rows)} obligation(s): "
+        f"{shown:.3f}s of {total:.3f}s ({share:.0%})"
+    )
+    return "\n".join(lines)
 
 
 def _por_section(issues: list[str]) -> str:
@@ -167,6 +202,7 @@ def run_evaluation(
             "from the obligation cache)",
             flush=True,
         )
+    report.hotspots_text = _hotspots_section(sweep)
 
     if verbose:
         print("building Table 2...", flush=True)

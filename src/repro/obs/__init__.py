@@ -1,0 +1,41 @@
+"""``repro.obs`` — tracing, profiling and replayable counterexample
+witnesses (the observability layer; see docs/OBSERVABILITY.md).
+
+Three pillars:
+
+* :mod:`~repro.obs.tracer` — a zero-dependency span/event tracer,
+  context-var scoped and free when disabled, feeding Chrome-trace JSON
+  (``repro verify --trace``) and the ``repro profile`` hotspot table
+  via :mod:`~repro.obs.export`;
+* :mod:`~repro.obs.witness` — structured counterexamples: the full
+  failing interleaving with intermediate ``[self | joint | other]``
+  views, attached to failed obligations and surviving engine IPC and
+  the obligation cache;
+* :mod:`~repro.obs.minimize` / :mod:`~repro.obs.replay` /
+  :mod:`~repro.obs.render` — delta-debugging schedule shrinking with a
+  deterministic replayer as the only oracle, rendered as an annotated
+  step table (``repro explain``).
+
+Only :mod:`~repro.obs.tracer` (pure stdlib) is imported eagerly: core
+and semantics modules import it at module level without creating an
+import cycle; the witness/replay half — which imports the interpreter —
+loads lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from . import tracer
+
+_LAZY_SUBMODULES = ("export", "minimize", "render", "replay", "witness")
+
+__all__ = ["tracer", *_LAZY_SUBMODULES]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,132 @@
+"""Delta-debugging witness minimization — replay-confirmed shrinking only.
+
+The captured witness is whatever interleaving the explorer's DFS
+happened to reach first: it typically contains interference steps that
+played no part in the violation and futile retry iterations (a CAS spin
+that lost the race and tried again).  The minimizer shrinks the forced
+schedule with the classic ``ddmin`` reduction, using *only* the
+deterministic replayer as the oracle: a candidate schedule survives iff
+re-running it still exhibits a violation of the same kind.  No static
+reasoning about which steps "look" irrelevant is ever trusted — every
+accepted reduction has been witnessed by an actual re-execution, which
+is the whole soundness argument (docs/OBSERVABILITY.md).
+
+Because the replayer treats the schedule as a forced *prefix* and then
+completes the run deterministically, the minimal schedule converges on
+just the preemptions that matter; the returned witness's steps are the
+full (forced + completion) execution of that minimal schedule, so the
+rendered table remains a complete interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .replay import replay_schedule
+from .witness import Witness, WitnessStep
+
+#: Default cap on oracle replays per minimization.
+DEFAULT_BUDGET = 500
+
+
+def ddmin(
+    items: Sequence,
+    test: Callable[[list], bool],
+    *,
+    budget: int = DEFAULT_BUDGET,
+) -> list:
+    """Zeller–Hildebrandt ``ddmin`` (complement reduction).
+
+    Returns a subsequence of ``items`` on which ``test`` still holds,
+    1-minimal up to the replay ``budget``; ``test(items)`` is assumed
+    true.  The oracle is consulted at most ``budget`` times — on
+    exhaustion the best reduction so far is returned.
+    """
+    current = list(items)
+    calls = 0
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            calls += 1
+            if calls > budget:
+                return current
+            if test(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def minimize_witness(
+    witness: Witness,
+    *,
+    budget: int = DEFAULT_BUDGET,
+    max_steps: int | None = None,
+) -> Witness:
+    """Shrink ``witness``'s schedule, confirming every step by replay.
+
+    Returns a new witness whose steps are the full execution of the
+    minimal forced schedule (``minimized=True``, with ``meta`` recording
+    the original length, the forced-step count and the replays spent).
+    A witness that is not replayable — or whose own schedule fails to
+    reproduce — is returned unchanged with a ``meta`` note, never
+    guessed at.
+    """
+    if not witness.replayable:
+        witness.meta.setdefault("minimize", "skipped: witness is not replayable")
+        return witness
+
+    replays = 0
+
+    def candidate(steps: list[WitnessStep]) -> Witness:
+        return Witness(
+            scenario=witness.scenario,
+            kind=witness.kind,
+            message=witness.message,
+            steps=steps,
+            meta=dict(witness.meta),
+            world=witness.world,
+            init=witness.init,
+            prog=witness.prog,
+            check=witness.check,
+        )
+
+    def reproduces(steps: list[WitnessStep]) -> bool:
+        nonlocal replays
+        replays += 1
+        return replay_schedule(candidate(steps), max_steps=max_steps).reproduced
+
+    if not reproduces(list(witness.steps)):
+        witness.meta.setdefault(
+            "minimize", "skipped: original schedule does not replay"
+        )
+        return witness
+
+    minimal = ddmin(list(witness.steps), reproduces, budget=budget)
+    outcome = replay_schedule(candidate(minimal), max_steps=max_steps)
+    if not outcome.reproduced:  # pragma: no cover - ddmin only returns survivors
+        witness.meta.setdefault("minimize", "skipped: reduction did not confirm")
+        return witness
+
+    minimized = candidate(outcome.annotated)
+    minimized.minimized = True
+    minimized.message = outcome.message or witness.message
+    minimized.meta.update(
+        {
+            "original_steps": len(witness.steps),
+            "forced_steps": len(minimal),
+            "replays": replays,
+            "replay": "confirmed",
+        }
+    )
+    return minimized

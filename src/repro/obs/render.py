@@ -1,0 +1,79 @@
+"""Human-readable rendering of witnesses and subjective states.
+
+The annotated step table is the ``repro explain`` deliverable: one row
+per scheduling-visible step of the (minimized) counterexample, with the
+acting thread and its intermediate ``[self | joint | other]`` view — the
+operational counterpart of the subjective state split a failed FCSL
+obligation points at.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .witness import Witness, WitnessStep
+
+#: Views longer than this are elided in the table (full views survive in
+#: the JSON image, ``Witness.to_dict``).
+MAX_VIEW_WIDTH = 88
+
+
+def render_state(state: Any) -> str:
+    """``label: [self | joint | other]`` for every label, sorted."""
+    parts = []
+    for label in sorted(state.labels()):
+        comp = state[label]
+        parts.append(f"{label}: [{comp.self_!r} | {comp.joint!r} | {comp.other!r}]")
+    return "; ".join(parts)
+
+
+def _clip(text: str, width: int = MAX_VIEW_WIDTH) -> str:
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def _who(step: WitnessStep) -> str:
+    return "env" if step.kind == "env" else f"t{step.tid}"
+
+
+def _what(step: WitnessStep) -> str:
+    if step.kind == "env":
+        return step.label
+    call = f"{step.label}({', '.join(step.args)})"
+    if step.kind == "crash":
+        return f"{call}  ← aborts"
+    return call
+
+
+def render_witness(witness: Witness) -> str:
+    """The annotated step table for one counterexample."""
+    header = f"counterexample witness [{witness.kind}]"
+    if witness.scenario:
+        header += f" — scenario {witness.scenario!r}"
+    lines = [header, f"  violation: {witness.message}"]
+    if witness.minimized:
+        original = witness.meta.get("original_steps")
+        shrunk = (
+            f"{original} → {len(witness.steps)} steps"
+            if original is not None
+            else f"{len(witness.steps)} steps"
+        )
+        replays = witness.meta.get("replays")
+        suffix = f", {replays} replays" if replays is not None else ""
+        lines.append(f"  minimized: {shrunk} (replay-confirmed{suffix})")
+    if witness.meta.get("replay") == "diverged":
+        lines.append("  note: replay diverged — schedule shown as captured, unminimized")
+    if not witness.steps:
+        lines.append("  (violation at the initial configuration: no steps)")
+        return "\n".join(lines)
+
+    what_width = max(4, min(44, max(len(_what(s)) for s in witness.steps)))
+    lines.append("")
+    lines.append(f"  {'#':>3} {'who':>4}  {'step':<{what_width}}  {'result':<10} view")
+    for index, step in enumerate(witness.steps, 1):
+        result = step.result if step.result is not None else ""
+        view = _clip(step.view) if step.view else ""
+        lines.append(
+            f"  {index:>3} {_who(step):>4}  {_what(step):<{what_width}}  "
+            f"{result:<10} {view}"
+        )
+    return "\n".join(lines)

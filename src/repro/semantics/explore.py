@@ -18,12 +18,14 @@ the count of truncated paths is reported.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..core.errors import VerificationError
+from ..obs import tracer as _obs
 from .interp import Config, do_action, env_successors
-from .trace import Trace
+from .trace import Event, Trace
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,10 @@ class ExplorationResult:
     por_pruned: int = 0
     #: Whether a POR oracle was consulted during this exploration.
     por_active: bool = False
+    #: Configurations pruned by dedupe/domination (memoized positions).
+    deduped: int = 0
+    #: Largest DFS frontier observed (sampled every 256 expansions).
+    frontier_peak: int = 0
 
     @property
     def ok(self) -> bool:
@@ -168,87 +174,136 @@ def explore(
     #: position key -> recorded (env_used, steps, config) visits.  Configs
     #: are kept alive so id-based fingerprint components are never recycled.
     seen: dict[tuple, list[tuple[int, int, Config]]] = {}
-    while stack:
-        current, env_used = stack.pop()
-        if dedupe:
-            try:
-                pos = current.position_key()
-            except Exception:  # noqa: BLE001 - unfingerprintable: fall back
-                pos = None
-                result.unfingerprinted += 1
-            if pos is not None:
-                visits = seen.setdefault(pos, [])
-                if domination:
-                    # Prune iff a prior visit dominates: it had at least as
-                    # much interference budget and step depth remaining.
-                    # Spin loops are pruned here too: a futile retry
-                    # reproduces its own position key at a later step.
-                    if any(
-                        e <= env_used and s <= current.steps
-                        for e, s, __ in visits
-                    ):
-                        continue
-                else:
-                    # Exact-budget keying: revisit only if we arrived with
-                    # more remaining depth (fewer steps) than any previous
-                    # visit at the same env_used.
-                    if any(
-                        e == env_used and s <= current.steps
-                        for e, s, __ in visits
-                    ):
-                        continue
-                visits.append((env_used, current.steps, current))
-        if result.explored >= max_configs:
-            # Checked *before* counting: the bound means "expand at most
-            # max_configs configurations", not max_configs + 1.
-            result.violations.append(
-                Violation("resource", f"exceeded max_configs={max_configs}")
+    # A single contextvar read up front: per-config work stays free when
+    # tracing is off (the span below is emitted once, at the end).
+    tr = _obs.current()
+    started = time.perf_counter() if tr is not None else 0.0
+    env_spent = 0
+    try:
+        while stack:
+            current, env_used = stack.pop()
+            if dedupe:
+                try:
+                    pos = current.position_key()
+                except Exception:  # noqa: BLE001 - unfingerprintable: fall back
+                    pos = None
+                    result.unfingerprinted += 1
+                if pos is not None:
+                    visits = seen.setdefault(pos, [])
+                    if domination:
+                        # Prune iff a prior visit dominates: it had at least as
+                        # much interference budget and step depth remaining.
+                        # Spin loops are pruned here too: a futile retry
+                        # reproduces its own position key at a later step.
+                        if any(
+                            e <= env_used and s <= current.steps
+                            for e, s, __ in visits
+                        ):
+                            result.deduped += 1
+                            continue
+                    else:
+                        # Exact-budget keying: revisit only if we arrived with
+                        # more remaining depth (fewer steps) than any previous
+                        # visit at the same env_used.
+                        if any(
+                            e == env_used and s <= current.steps
+                            for e, s, __ in visits
+                        ):
+                            result.deduped += 1
+                            continue
+                    visits.append((env_used, current.steps, current))
+            if result.explored >= max_configs:
+                # Checked *before* counting: the bound means "expand at most
+                # max_configs configurations", not max_configs + 1.
+                result.violations.append(
+                    Violation("resource", f"exceeded max_configs={max_configs}")
+                )
+                return result
+            result.explored += 1
+            if result.explored % 256 == 0:
+                result.frontier_peak = max(result.frontier_peak, len(stack))
+            if current.done:
+                result.terminals.append(current)
+                if on_terminal is not None:
+                    message = on_terminal(current)
+                    if message:
+                        result.violations.append(Violation("postcondition", message, current.trace))
+                continue
+            if current.is_stuck():
+                result.violations.append(Violation("stuck", "no runnable thread", current.trace))
+                continue
+            if current.steps >= max_steps:
+                result.truncated += 1
+                continue
+            tids = sorted(current.runnable_threads())
+            if (
+                oracle is not None
+                and dedupe
+                and env_used >= env_budget
+                and len(tids) > 1
+            ):
+                # With the interference budget spent, no env successor is
+                # injected below this configuration, so the only branching is
+                # the thread choice — the one an ample singleton may restrict.
+                chosen, skipped = _ample_tid(current, tids, oracle)
+                if chosen is not None:
+                    tids = [chosen]
+                    result.por_pruned += skipped
+            for tid in tids:
+                try:
+                    stack.append((do_action(current, tid), env_used))
+                except VerificationError as exc:
+                    result.violations.append(
+                        Violation(
+                            type(exc).__name__,
+                            str(exc),
+                            _crash_trace(current, tid),
+                        )
+                    )
+            if env_used < env_budget:
+                try:
+                    for succ in env_successors(current):
+                        stack.append((succ, env_used + 1))
+                        env_spent += 1
+                except VerificationError as exc:
+                    result.violations.append(
+                        Violation(type(exc).__name__, str(exc), current.trace)
+                    )
+        return result
+    finally:
+        if tr is not None:
+            now = time.perf_counter()
+            tr.span(
+                "explore",
+                "explore",
+                started * 1e6,
+                now * 1e6,
+                explored=result.explored,
+                deduped=result.deduped,
+                unfingerprinted=result.unfingerprinted,
+                truncated=result.truncated,
+                terminals=len(result.terminals),
+                violations=len(result.violations),
+                frontier_peak=result.frontier_peak,
+                env_budget=env_budget,
+                env_spent=env_spent,
+                por_active=result.por_active,
+                por_pruned=result.por_pruned,
             )
-            return result
-        result.explored += 1
-        if current.done:
-            result.terminals.append(current)
-            if on_terminal is not None:
-                message = on_terminal(current)
-                if message:
-                    result.violations.append(Violation("postcondition", message, current.trace))
-            continue
-        if current.is_stuck():
-            result.violations.append(Violation("stuck", "no runnable thread", current.trace))
-            continue
-        if current.steps >= max_steps:
-            result.truncated += 1
-            continue
-        tids = sorted(current.runnable_threads())
-        if (
-            oracle is not None
-            and dedupe
-            and env_used >= env_budget
-            and len(tids) > 1
-        ):
-            # With the interference budget spent, no env successor is
-            # injected below this configuration, so the only branching is
-            # the thread choice — the one an ample singleton may restrict.
-            chosen, skipped = _ample_tid(current, tids, oracle)
-            if chosen is not None:
-                tids = [chosen]
-                result.por_pruned += skipped
-        for tid in tids:
-            try:
-                stack.append((do_action(current, tid), env_used))
-            except VerificationError as exc:
-                result.violations.append(
-                    Violation(type(exc).__name__, str(exc), current.trace)
-                )
-        if env_used < env_budget:
-            try:
-                for succ in env_successors(current):
-                    stack.append((succ, env_used + 1))
-            except VerificationError as exc:
-                result.violations.append(
-                    Violation(type(exc).__name__, str(exc), current.trace)
-                )
-    return result
+
+
+def _crash_trace(config: Config, tid: int) -> Trace | None:
+    """The violation trace for an action that aborted: the history plus a
+    synthetic ``crash`` event naming the failing step, so counterexample
+    witnesses include the action that crashed in their schedule."""
+    if config.trace is None:
+        return None
+    pending = config.pending_label(tid)
+    if pending is None:  # pragma: no cover - crash implies a pending action
+        return config.trace
+    name, __ = pending
+    th = config.threads[tid]
+    return config.trace.append(Event("crash", tid, name, th.current.args))
 
 
 def run_random(

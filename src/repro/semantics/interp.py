@@ -428,6 +428,15 @@ class Config:
             return None
         return (id(th.current.action), th.current.args)
 
+    def pending_label(self, tid: int) -> tuple[str, tuple[str, ...]] | None:
+        """Name and ``repr``'d arguments of thread ``tid``'s pending action
+        (or None) — the process-stable identity witness replay matches
+        forced steps against (:mod:`repro.obs.replay`)."""
+        th = self.threads.get(tid)
+        if th is None or not isinstance(th.current, ActCall):
+            return None
+        return (th.current.action.name, tuple(repr(a) for a in th.current.args))
+
     def _log(self, event: Event) -> None:
         if self.trace is not None:
             self.trace = self.trace.append(event)

@@ -17,7 +17,10 @@ from typing import Any
 class Event:
     """One scheduling-visible step."""
 
-    kind: str  # "act" | "env" | "fork" | "join" | "hide" | "unhide" | "done"
+    # "act" | "env" | "fork" | "join" | "hide" | "unhide" | "done" | "crash"
+    # ("crash": an action whose execution itself aborted — appended by the
+    # explorer so counterexample witnesses include the failing step)
+    kind: str
     tid: int
     detail: str
     args: tuple = ()
@@ -27,6 +30,9 @@ class Event:
         if self.kind == "act":
             args = ", ".join(repr(a) for a in self.args)
             return f"t{self.tid}: {self.detail}({args}) = {self.result!r}"
+        if self.kind == "crash":
+            args = ", ".join(repr(a) for a in self.args)
+            return f"t{self.tid}: {self.detail}({args}) CRASHED"
         if self.kind == "env":
             return f"env: {self.detail}"
         return f"t{self.tid}: {self.kind} {self.detail}"

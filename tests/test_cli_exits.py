@@ -1,11 +1,13 @@
-"""The CLI exit-code contract: lint, race and verify agree.
+"""The CLI exit-code contract: lint, race, verify, profile and explain
+agree.
 
-All three subcommands share one mapping — 0 all clean / verified, 1
-findings (diagnostic past the severity threshold, failed verdict), 2
-usage (unknown program, malformed flag), 3 infrastructure (the analysis
-crashed, a program was quarantined, the sweep degraded).  CI and
-scripting depend on the distinction: a 1 is a defect in the code under
-analysis, a 3 is a defect in the analyzer.
+The subcommands share one mapping — 0 all clean / verified / nothing to
+explain, 1 findings (diagnostic past the severity threshold, failed
+verdict, counterexample witness), 2 usage (unknown program, malformed
+flag), 3 infrastructure (the analysis crashed, a program was
+quarantined, the sweep degraded).  CI and scripting depend on the
+distinction: a 1 is a defect in the code under analysis, a 3 is a
+defect in the analyzer.
 """
 
 from __future__ import annotations
@@ -39,6 +41,16 @@ def test_verify_unknown_program_is_usage_error(capsys):
 
 def test_verify_bad_fault_spec_is_usage_error(capsys):
     assert main(["verify", "--inject", "not-a-spec"]) == 2
+
+
+def test_profile_unknown_program_is_usage_error(capsys):
+    assert main(["profile", "--program", "No such program"]) == 2
+    assert "No such program" in capsys.readouterr().err
+
+
+def test_explain_unknown_program_is_usage_error(capsys):
+    assert main(["explain", "No such program"]) == 2
+    assert "No such program" in capsys.readouterr().err
 
 
 # -- findings vs clean vs infra (patched sweeps: the real registry is clean
@@ -110,6 +122,95 @@ def test_verify_propagates_sweep_exit_code(code, monkeypatch, capsys):
         "repro.engine.run_sweep", lambda **kwargs: _FakeSweep(code)
     )
     assert main(["verify"]) == code
+
+
+# -- profile mirrors verify (patched sweep; the tracing session is real) ---------------
+
+
+@pytest.mark.parametrize("code", [0, 1, 3])
+def test_profile_propagates_sweep_exit_code(code, monkeypatch, capsys):
+    monkeypatch.setattr(
+        "repro.engine.run_sweep", lambda **kwargs: _FakeSweep(code)
+    )
+    assert main(["profile"]) == code
+    # a fake sweep emits no spans, but the hotspot table still renders
+    assert "(no spans recorded)" in capsys.readouterr().out
+
+
+# -- explain: 0 nothing to explain, 1 witnesses rendered, 3 verifier crash -------------
+
+
+class _FakeReport:
+    def __init__(self, ok: bool):
+        self.ok = ok
+
+    def pretty(self) -> str:
+        return "fake failing report"
+
+
+class _FakeInfo:
+    """Just enough of ProgramInfo for _run_explain: name + run_verifier."""
+
+    name = "fake"
+
+    def __init__(self, verifier):
+        self._verifier = verifier
+
+    def run_verifier(self):
+        return self._verifier()
+
+
+def _patch_program(monkeypatch, verifier) -> None:
+    monkeypatch.setattr(
+        "repro.structures.registry.program",
+        lambda name: _FakeInfo(verifier),
+    )
+
+
+def test_explain_clean_program_exits_zero(monkeypatch, capsys):
+    _patch_program(monkeypatch, lambda: _FakeReport(ok=True))
+    assert main(["explain", "fake"]) == 0
+    assert "no witness to explain" in capsys.readouterr().out
+
+
+def test_explain_failure_without_witness_exits_zero(monkeypatch, capsys):
+    """A non-schedule failure (e.g. a shape check) has nothing to replay:
+    explain reports that and defers to the plain report, exit 0."""
+    _patch_program(monkeypatch, lambda: _FakeReport(ok=False))
+    assert main(["explain", "fake"]) == 0
+    out = capsys.readouterr().out
+    assert "no witness to explain" in out
+    assert "fake failing report" in out
+
+
+def test_explain_recorded_witness_exits_one(monkeypatch, capsys):
+    from repro.obs.witness import Witness, record
+
+    def verifier():
+        record(
+            Witness(
+                scenario="s",
+                kind="postcondition",
+                message="synthetic violation",
+                meta={"unreplayable": True},
+            )
+        )
+        return _FakeReport(ok=False)
+
+    _patch_program(monkeypatch, verifier)
+    assert main(["explain", "fake"]) == 1
+    out = capsys.readouterr().out
+    assert "counterexample witness" in out
+    assert "synthetic violation" in out
+
+
+def test_explain_verifier_crash_is_infra(monkeypatch, capsys):
+    def boom():
+        raise RuntimeError("synthetic verifier bug")
+
+    _patch_program(monkeypatch, boom)
+    assert main(["explain", "fake"]) == 3
+    assert "crashed" in capsys.readouterr().err
 
 
 # -- the real registry is clean end-to-end --------------------------------------------
