@@ -16,6 +16,12 @@ entry points.
 * ``python -m repro race`` — the interference/race rules alone
   (FCSL045+): per-action footprints, non-commuting pairs, race-shaped
   defects.
+* ``python -m repro live`` — the liveness rules (FCSL050+): lock-order
+  graphs and deadlock cycles, acquire/release discipline, and bounded
+  fairness/livelock checking with replayable witnesses
+  (docs/LIVENESS.md).  Sweeps every registered program *including* the
+  demo rows, so the full sweep exits 1 by design; restrict with
+  ``--program`` for the paper's case studies alone.
 * ``python -m repro profile`` — a tracing-on, cache-off sweep rendered
   as a hotspot table (span wall times + explorer/cache counters); add
   ``--trace`` for the raw Chrome-trace JSON.
@@ -25,7 +31,8 @@ entry points.
   interleavings (docs/OBSERVABILITY.md).  Exits 1 when witnesses were
   found, 0 when the program verifies cleanly (nothing to explain).
 
-``lint``, ``race``, ``verify``, ``profile`` and ``explain`` share one
+``lint``, ``race``, ``live``, ``verify``, ``profile`` and ``explain``
+share one
 exit-code contract: 0 (all clean / verified / nothing to explain), 1
 (findings: a diagnostic past the severity threshold, a failed verdict,
 or a counterexample witness), 2 (usage: unknown registry program or
@@ -81,6 +88,12 @@ def _run_race(args: argparse.Namespace) -> int:
     return _render_diagnostics(args, race_registry, "fcsl-race")
 
 
+def _run_live(args: argparse.Namespace) -> int:
+    from .analysis import live_registry
+
+    return _render_diagnostics(args, live_registry, "fcsl-live")
+
+
 def _dump_witnesses(result, directory: str, tool: str) -> None:
     """Write every witness the sweep captured (one JSON file per program
     with failures, plus an index) into ``directory`` — the CI artifact."""
@@ -134,6 +147,7 @@ def _run_verify(args: argparse.Namespace) -> int:
                 cache_dir=args.cache_dir,
                 prepass=not args.no_prepass,
                 por=args.por,
+                liveness=args.liveness,
                 timeout=args.timeout,
                 retries=args.retries,
                 faults=plan,
@@ -352,6 +366,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_diag_options(race)
 
+    live = sub.add_parser(
+        "live",
+        help="run the fcsl-live lock-order/deadlock/fairness rules "
+        "(FCSL050+; includes the demo rows, so a full sweep exits 1 "
+        "by design)",
+    )
+    add_diag_options(live)
+
     verify = sub.add_parser(
         "verify", help="run the registry verification sweep (parallel, cached)"
     )
@@ -377,6 +399,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="enable partial-order reduction: expand statically-independent "
         "threads alone (verdict-preserving; default off)",
+    )
+    verify.add_argument(
+        "--liveness",
+        action="store_true",
+        help="enable the bounded livelock detector during exploration: "
+        "progress-free lassos are recorded as replayable witnesses "
+        "(verdict-preserving; default off)",
     )
     verify.add_argument(
         "--inject",
@@ -476,6 +505,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_lint(args)
     if args.command == "race":
         return _run_race(args)
+    if args.command == "live":
+        return _run_live(args)
     if args.command == "verify":
         return _run_verify(args)
     if args.command == "profile":

@@ -7,6 +7,10 @@ Entry points:
   studies (the ``python -m repro lint`` CLI).
 * :func:`repro.analysis.race.race_registry` — the race/interference
   rules alone (the ``python -m repro race`` CLI).
+* :func:`repro.analysis.liveness.live_registry` — lock-order, deadlock
+  and bounded-liveness rules (FCSL050+, the ``python -m repro live``
+  CLI), with :mod:`repro.analysis.lockorder` supplying the static
+  lock-order graph.
 * :func:`repro.analysis.interference.analyze_program` — the footprint /
   commutativity analysis behind ``explore(..., por=True)``.
 * :func:`repro.analysis.prepass.static_prepass` — context manager that
@@ -31,6 +35,15 @@ from .interference import (
     analyze_program,
     footprints_conflict,
 )
+from .liveness import (
+    FAIRNESS_CLAIMS,
+    check_fairness,
+    fairness_issues,
+    find_live_cycles,
+    live_registry,
+    live_target,
+)
+from .lockorder import LockOrderGraph, build_lock_order, lockorder_target
 from .prepass import StaticPrepass, static_prepass
 from .race import race_registry, race_target
 from .runner import lint_registry, lint_target
@@ -38,16 +51,25 @@ from .runner import lint_registry, lint_target
 __all__ = [
     "CODES",
     "Diagnostic",
+    "FAIRNESS_CLAIMS",
     "Footprint",
+    "LockOrderGraph",
     "ProgramInterference",
     "Severity",
     "StaticPrepass",
     "action_footprint",
     "analyze_config",
     "analyze_program",
+    "build_lock_order",
+    "check_fairness",
+    "fairness_issues",
+    "find_live_cycles",
     "footprints_conflict",
     "lint_registry",
     "lint_target",
+    "live_registry",
+    "live_target",
+    "lockorder_target",
     "race_registry",
     "race_target",
     "render_json",

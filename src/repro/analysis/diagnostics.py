@@ -15,6 +15,12 @@ change.  New rules take the next free number in their block:
 * ``FCSL02x`` — spec / assertion rules
 * ``FCSL03x`` — program (DSL) rules
 * ``FCSL04x`` — PCM algebra rules (040-044), race/interference rules (045-)
+* ``FCSL05x`` — liveness / lock-order rules (fcsl-live)
+
+Selectors (``--select``) are uniform across every tool (lint, race,
+live): an exact code (``FCSL050``), a prefix (``FCSL05``), an ``x``
+wildcard per digit (``FCSL05x``), or an inclusive range
+(``FCSL050-059`` / ``FCSL050-FCSL059``).
 """
 
 from __future__ import annotations
@@ -22,8 +28,9 @@ from __future__ import annotations
 import enum
 import inspect
 import json
+import re
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 
 class Severity(enum.IntEnum):
@@ -196,6 +203,61 @@ CODES: dict[str, tuple[Severity, str, str]] = {
         "an action's observed heap footprint escapes its own concurroid's "
         "labelled components",
     ),
+    # -- liveness / lock order (fcsl-live) ----------------------------------------
+    "FCSL050": (
+        Severity.ERROR,
+        "deadlock-cycle",
+        "the lock-order graph has a cycle: a schedule exists where each "
+        "thread holds one lock of the cycle while acquiring the next",
+    ),
+    "FCSL051": (
+        Severity.WARNING,
+        "acquire-without-release",
+        "a program path acquires a lock and no sequentially later action "
+        "on that path ever releases it",
+    ),
+    "FCSL052": (
+        Severity.ERROR,
+        "self-acquire-under-hold",
+        "a program path re-acquires a lock it already holds; for a "
+        "non-reentrant lock this is guaranteed self-deadlock",
+    ),
+    "FCSL053": (
+        Severity.INFO,
+        "unordered-lock-pair",
+        "parallel branches acquire two locks with no nesting edge either "
+        "way: deadlock-free, but no ordering discipline is established",
+    ),
+    "FCSL054": (
+        Severity.WARNING,
+        "non-progressing-loop",
+        "a recursive loop spins on cells no environment transition can "
+        "change: entered unsatisfied, it can never exit",
+    ),
+    "FCSL055": (
+        Severity.ERROR,
+        "livelock-cycle",
+        "bounded exploration found a schedule revisiting a configuration "
+        "family with threads stepping but none progressing",
+    ),
+    "FCSL056": (
+        Severity.ERROR,
+        "fairness-violation",
+        "a lock claiming FIFO fairness admits a bounded schedule where a "
+        "continuously waiting thread is bypassed arbitrarily often",
+    ),
+    "FCSL057": (
+        Severity.INFO,
+        "liveness-analysis-incomplete",
+        "instance collection did not complete; lock-order facts for this "
+        "program are partial and cycle absence is not established",
+    ),
+    "FCSL059": (
+        Severity.INFO,
+        "fairness-confirmed",
+        "bounded exploration confirmed the declared fairness claim: no "
+        "bypass or livelock cycle exists within the explored bounds",
+    ),
 }
 
 
@@ -273,17 +335,52 @@ def loc_of(obj: Any) -> SourceLoc | None:
 # -- filtering & rendering ----------------------------------------------------------------------
 
 
+_CODE_RE = re.compile(r"^FCSL\d+$")
+
+
+def _selector_matcher(selector: str) -> Callable[[str], bool]:
+    """One selector -> a code predicate.  Forms (shared verbatim by every
+    tool that takes ``--select``):
+
+    * exact code: ``FCSL050``
+    * prefix: ``FCSL05`` (the whole block)
+    * digit wildcard: ``FCSL05x`` (``x`` matches any single digit)
+    * inclusive range: ``FCSL050-059`` or ``FCSL050-FCSL059``
+    """
+    sel = selector.strip().upper()
+    lo, dash, hi = sel.partition("-")
+    if dash and lo and hi:
+        if not hi.startswith("FCSL"):
+            hi = "FCSL" + hi
+        if _CODE_RE.match(lo) and _CODE_RE.match(hi):
+            return lambda code, lo=lo, hi=hi: lo <= code <= hi
+
+    def match(code: str, pat: str = sel) -> bool:
+        if len(pat) > len(code):
+            return False
+        for pc, cc in zip(pat, code):
+            if pc == "X":
+                if not cc.isdigit():
+                    return False
+            elif pc != cc:
+                return False
+        return True
+
+    return match
+
+
 def select(
     diagnostics: Iterable[Diagnostic],
     codes: Sequence[str] | None = None,
 ) -> list[Diagnostic]:
-    """Keep diagnostics whose code starts with any selected prefix
-    (``FCSL01`` selects the whole action block)."""
+    """Keep diagnostics matching any selector (see
+    :func:`_selector_matcher` for the accepted forms; plain prefixes like
+    ``FCSL01`` keep their historical meaning)."""
     diagnostics = list(diagnostics)
     if not codes:
         return diagnostics
-    prefixes = tuple(codes)
-    return [d for d in diagnostics if d.code.startswith(prefixes)]
+    matchers = [_selector_matcher(c) for c in codes]
+    return [d for d in diagnostics if any(m(d.code) for m in matchers)]
 
 
 def worst_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:

@@ -59,9 +59,13 @@ def lint_target(target: LintTarget) -> list[Diagnostic]:
 
 def missing_targets() -> list[str]:
     """Registry programs without a lint target (should always be empty)."""
-    from ..structures.registry import all_programs
+    from ..structures.registry import registry_programs
 
-    return [info.name for info in all_programs() if info.name not in TARGET_BUILDERS]
+    return [
+        info.name
+        for info in registry_programs()
+        if info.name not in TARGET_BUILDERS
+    ]
 
 
 def lint_registry(

@@ -242,12 +242,15 @@ def por_scenarios(names: Iterable[str] | None = None) -> list[PorScenario]:
     return [s for s in POR_SCENARIOS if s.program in wanted]
 
 
-def run_scenario(scenario: PorScenario, *, por: bool):
+def run_scenario(scenario: PorScenario, *, por: bool, liveness: bool = False):
     """Explore one scenario, reduced or not, with its verification bounds.
 
     ``por=True`` lets explore() build the interference oracle itself
     (``analyze_config``); analysis trouble fails open to the unreduced
-    search, so the result is comparable either way.
+    search, so the result is comparable either way.  ``liveness=True``
+    additionally arms the bounded livelock detector — observational by
+    construction, which tests/test_liveness_equiv.py checks against
+    these same scenarios.
     """
     from ..semantics.explore import explore
     from ..semantics.interp import initial_config
@@ -260,6 +263,7 @@ def run_scenario(scenario: PorScenario, *, por: bool):
         env_budget=scenario.env_budget,
         max_configs=scenario.max_configs,
         por=por,
+        liveness=liveness,
     )
 
 

@@ -70,6 +70,47 @@ def bounded_closure(
     return sorted(seen, key=repr), not truncated
 
 
+def bounded_closure_many(
+    concs: Sequence[Concurroid],
+    initials: Sequence[State],
+    cap: int = CLOSURE_CAP,
+) -> tuple[list[State], bool]:
+    """Interleaved closure under several concurroids' transitions.
+
+    Like :func:`bounded_closure` but the frontier expands under every
+    concurroid's transitions and environment moves — the state family of
+    a world composing independent protocols (e.g. the two-lock demo),
+    where each protocol's reachable region depends on the other's.
+    """
+    seen: set[State] = set()
+    frontier: deque[State] = deque()
+    for s in initials:
+        if s not in seen:
+            seen.add(s)
+            frontier.append(s)
+    truncated = False
+    while frontier:
+        current = frontier.popleft()
+        successors: list[State] = []
+        for conc in concs:
+            for t in conc.transitions():
+                try:
+                    successors.extend(s2 for __, s2 in t.successors(current))
+                except Exception:  # noqa: BLE001 - lint must not die on a bad guard
+                    continue
+            successors.extend(conc.env_moves(current))
+        for succ in successors:
+            if succ not in seen:
+                if len(seen) >= cap:
+                    truncated = True
+                    break
+                seen.add(succ)
+                frontier.append(succ)
+        if truncated:
+            break
+    return sorted(seen, key=repr), not truncated
+
+
 @dataclass
 class LintTarget:
     """Everything fcsl-lint needs about one case study."""
@@ -442,6 +483,68 @@ def _prod_cons() -> LintTarget:
     )
 
 
+def _two_lock_demo() -> LintTarget:
+    from ..structures.locks.demo import (
+        RES_OF,
+        deadlock_par,
+        demo_initial_state,
+        ladder,
+        make_demo_locks,
+    )
+
+    la, lb = make_demo_locks()
+    initials = [
+        demo_initial_state(la, lb, a1, b1, a2, b2)
+        for a1 in (0, 1)
+        for b1 in (0, 1)
+        for a2 in (0, 1)
+        for b2 in (0, 1)
+    ]
+    states, exhaustive = bounded_closure_many(
+        (la.concurroid, lb.concurroid), initials
+    )
+    states = tuple(states)
+    ambient = frozenset(initials[0].labels())
+
+    def lock_actions(lock):
+        res = RES_OF[lock.concurroid.label]
+        return (
+            (lock.try_acquire_action, ((),)),
+            (lock.read_action, ((res,),)),
+            (lock.write_action, ((res, 0), (res, 1))),
+        )
+
+    return LintTarget(
+        program="Two-lock demo",
+        concurroids=(la.concurroid, lb.concurroid),
+        states=states,
+        exhaustive=exhaustive,
+        actions=lock_actions(la) + lock_actions(lb),
+        programs=(
+            (deadlock_par(la, lb), "ladder(la,lb) || ladder(lb,la)", ambient),
+            (ladder(la, lb), "ladder(la,lb)", ambient),
+        ),
+        pcms=(
+            la.concurroid.pcms()[la.concurroid.label],
+            lb.concurroid.pcms()[lb.concurroid.label],
+        ),
+    )
+
+
+def _unfair_lock() -> LintTarget:
+    from ..structures.locks.verify import RES_CELL
+    from ..structures.locks.demo import make_unfair_lock
+
+    def actions(lock):
+        return (
+            (lock.try_acquire_action, ((),)),
+            (lock.read_action, ((RES_CELL,),)),
+            (lock.write_action, ((RES_CELL, 0), (RES_CELL, 2))),
+        )
+
+    return _lock_target("Unfair lock demo", make_unfair_lock, actions)
+
+
 #: registry name -> target builder (must cover structures/registry.py exactly)
 TARGET_BUILDERS: dict[str, Callable[[], LintTarget]] = {
     "CAS-lock": _cas_lock,
@@ -455,6 +558,10 @@ TARGET_BUILDERS: dict[str, Callable[[], LintTarget]] = {
     "Seq. stack": _seq_stack,
     "FC-stack": _fc_stack,
     "Prod/Cons": _prod_cons,
+    # Demo rows (registry ``demo=True``): swept by fcsl-live, resolvable
+    # by explicit name in lint/race, excluded from the default sweeps.
+    "Two-lock demo": _two_lock_demo,
+    "Unfair lock demo": _unfair_lock,
 }
 
 

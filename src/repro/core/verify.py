@@ -87,6 +87,34 @@ def por_default() -> bool:
     return os.environ.get(_POR_ENV, "") == "1"
 
 
+# -- the liveness default -----------------------------------------------------------------
+#
+# check_triple threads ``liveness`` to explore() the same way: the flag
+# turns on the bounded livelock detector, whose findings are recorded as
+# witnesses but never become issues — safety verdicts are byte-identical
+# with it on or off (tests/test_liveness_equiv.py gates this).
+
+_LIVENESS_ENV = "REPRO_LIVENESS"
+_LIVENESS_DEFAULT: bool | None = None
+
+
+def set_liveness_default(flag: bool | None) -> None:
+    """Set (or with ``None`` clear) the process-wide liveness default."""
+    global _LIVENESS_DEFAULT
+    _LIVENESS_DEFAULT = flag
+    if flag is None:
+        os.environ.pop(_LIVENESS_ENV, None)
+    else:
+        os.environ[_LIVENESS_ENV] = "1" if flag else "0"
+
+
+def liveness_default() -> bool:
+    """The current liveness default (module global, else REPRO_LIVENESS)."""
+    if _LIVENESS_DEFAULT is not None:
+        return _LIVENESS_DEFAULT
+    return os.environ.get(_LIVENESS_ENV, "") == "1"
+
+
 # Skip attribution is scoped, not global: each in-flight obligation pushes
 # a frame, and a dynamic checker that skips work on the pre-pass's word
 # reports it to the *innermost* frame via record_prepass_skip.  Counting
@@ -359,6 +387,7 @@ def check_triple(
     max_configs: int = 200_000,
     domination: bool = True,
     por: bool | None = None,
+    liveness: bool | None = None,
 ) -> list[TripleOutcome]:
     """Check ``spec`` on every scenario by exhaustive schedule exploration.
 
@@ -376,12 +405,20 @@ def check_triple(
     falls back to the unreduced search: POR may only ever prune
     schedules, never change a verdict (tests/test_por_equiv.py gates
     this per registry program).
+
+    ``liveness`` turns on the explorer's bounded livelock detector:
+    progress-free act/env lassos land in ``ExplorationResult.cycles``
+    and are recorded as replayable witnesses, but never become issues —
+    safety verdicts are unchanged by construction.  ``None`` defers to
+    :func:`liveness_default` (``REPRO_LIVENESS``), off unless the
+    process opted in.
     """
     # Imported here to break the core <-> semantics import cycle.
     from ..semantics.explore import explore
     from ..semantics.interp import initial_config
 
     use_por = por_default() if por is None else por
+    use_liveness = liveness_default() if liveness is None else liveness
 
     def oracle_for(scenario: Scenario):
         if not use_por:
@@ -429,6 +466,7 @@ def check_triple(
             on_terminal=on_terminal,
             domination=domination,
             por=oracle_for(scenario),
+            liveness=use_liveness,
         )
         tr = obs_tracer.current()
         if tr is not None:
@@ -440,6 +478,7 @@ def check_triple(
                 explored=result.explored,
                 terminals=len(result.terminals),
                 violations=len(result.violations),
+                cycles=len(result.cycles),
                 truncated=result.truncated,
                 env_budget=env_budget,
             )
@@ -453,13 +492,20 @@ def check_triple(
             _record_witnesses(
                 world, scenario, on_terminal, result.violations, max_steps, outcome
             )
+        if use_liveness and result.cycles:
+            # Livelock lassos are observational: witnessed (capture
+            # scope, innermost obligation, the outcome) but never issues
+            # — the safety verdict must not depend on the liveness flag.
+            _record_witnesses(
+                world, scenario, None, result.cycles, max_steps, outcome
+            )
     return outcomes
 
 
 def _record_witnesses(
     world: World,
     scenario: Scenario,
-    check: Callable[[Any], str | None],
+    check: Callable[[Any], str | None] | None,
     violations: Sequence[Any],
     max_steps: int,
     outcome: TripleOutcome,

@@ -47,12 +47,14 @@ from typing import Any, Iterable, Sequence
 from ..core.verify import (
     CATEGORIES,
     VerificationReport,
+    liveness_default,
     por_default,
+    set_liveness_default,
     set_por_default,
     set_prepass,
 )
 from ..obs import tracer as obs_tracer
-from ..structures.registry import ProgramInfo, all_programs
+from ..structures.registry import ProgramInfo, all_programs, registry_programs
 from .cache import ObligationCache
 from .faults import FaultPlan, maybe_inject, plan_installed
 from .fingerprint import program_fingerprint
@@ -225,13 +227,18 @@ class SweepResult:
 def resolve_programs(names: Iterable[str] | None = None) -> tuple[ProgramInfo, ...]:
     """Registry rows for ``names`` (default: all), in registry order.
 
+    The default sweep covers exactly the paper's eleven case studies;
+    the ``demo=True`` rows (deliberately defective fcsl-live positive
+    cases) are reachable only by explicit name — a default
+    ``repro verify`` must stay green.
+
     Unknown names raise ``KeyError`` with the known names listed, exactly
     like the lint runner — the CLI maps this to a stderr message and
     exit code 2.
     """
-    programs = all_programs()
     if names is None:
-        return programs
+        return all_programs()
+    programs = registry_programs()
     wanted = tuple(names)
     known = {info.name for info in programs}
     unknown = sorted(set(wanted) - known)
@@ -279,6 +286,21 @@ def _por_installed(flag: bool):
         yield
     finally:
         set_por_default(previous)
+
+
+@contextmanager
+def _liveness_installed(flag: bool):
+    """Make ``flag`` the process liveness default for a sweep's duration.
+
+    Same mechanism as :func:`_por_installed`: ``set_liveness_default``
+    mirrors the flag into ``REPRO_LIVENESS`` so pool workers pick it up
+    under any start method, and the previous default is restored."""
+    previous = liveness_default()
+    set_liveness_default(flag)
+    try:
+        yield
+    finally:
+        set_liveness_default(previous)
 
 
 def _verify_one(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
@@ -435,6 +457,7 @@ def sweep(
     cache_dir: str | os.PathLike | None = None,
     prepass: bool = True,
     por: bool = False,
+    liveness: bool = False,
     timeout: float | None = None,
     retries: int = 1,
     backoff: float = 0.25,
@@ -450,6 +473,11 @@ def sweep(
     pool workers inherit it).  Verdicts are unaffected by construction —
     POR only prunes provably-commuting interleavings — so cached reports
     from non-POR runs stay valid and are still replayed.
+
+    ``liveness`` likewise installs the bounded livelock detector as the
+    process default for the sweep: progress-free lassos are recorded as
+    witnesses on the obligations that found them, but never become
+    issues, so verdicts (and cached reports) are again unaffected.
 
     ``timeout`` bounds each program's wall clock per attempt (pool path
     only); ``retries`` re-dispatches crashed/timed-out/raised programs
@@ -501,7 +529,7 @@ def sweep(
     if pending:
         # The plan stays installed through the store loop below: torn
         # cache writes are a cache-site fault, fired in this process.
-        with _por_installed(por), plan_installed(plan):
+        with _por_installed(por), _liveness_installed(liveness), plan_installed(plan):
             if jobs == 1:
                 results, interrupted = _serial_results(pending, prepass=prepass)
             elif not supervised:
@@ -611,6 +639,7 @@ def run_sweep(
     cache_dir: str | os.PathLike | None = None,
     prepass: bool = True,
     por: bool = False,
+    liveness: bool = False,
     timeout: float | None = None,
     retries: int = 1,
     backoff: float = 0.25,
@@ -625,6 +654,7 @@ def run_sweep(
         cache_dir=cache_dir,
         prepass=prepass,
         por=por,
+        liveness=liveness,
         timeout=timeout,
         retries=retries,
         backoff=backoff,

@@ -112,6 +112,25 @@ def replay_schedule(
     except Exception as exc:  # noqa: BLE001 - a broken model is a non-replay
         return ReplayOutcome(False, note=f"initialisation failed: {exc}")
 
+    # A livelock witness replays to a *position revisit*, not a violation:
+    # the schedule is reproduced iff, after the forced prefix, the final
+    # position equals an earlier one and the steps between are a
+    # progress-free act/env cycle.  Positions are recorded after every
+    # forced step; configs are kept alive so fingerprint ids stay valid.
+    lasso = witness.kind == "livelock"
+    positions: list[Any] = []
+    _kept: list[Any] = []
+
+    def position_of(cfg: Any) -> Any:
+        _kept.append(cfg)
+        try:
+            return cfg.position_key()
+        except Exception:  # noqa: BLE001 - unfingerprintable: never matches
+            return object()
+
+    if lasso:
+        positions.append(position_of(config))
+
     # -- the forced prefix -------------------------------------------------
     for index, step in enumerate(witness.steps):
         if step.kind in ("act", "crash"):
@@ -150,6 +169,8 @@ def replay_schedule(
                     view=_view_after(config, step.tid),
                 )
             )
+            if lasso:
+                positions.append(position_of(config))
         elif step.kind == "env":
             chosen = None
             try:
@@ -174,6 +195,8 @@ def replay_schedule(
                 )
             config = chosen
             annotated.append(replace(step, view=render_state(config.env_view())))
+            if lasso:
+                positions.append(position_of(config))
         else:
             return ReplayOutcome(
                 False,
@@ -183,6 +206,31 @@ def replay_schedule(
             )
 
     forced = len(witness.steps)
+
+    if lasso:
+        # No deterministic completion: the witness's endpoint *is* the
+        # revisit.  The cycle criterion mirrors the explorer's detector —
+        # at least one thread action and one interference step, nothing
+        # else, between two identical positions.
+        final = positions[-1]
+        for start in range(len(positions) - 1):
+            if positions[start] != final:
+                continue
+            segment = witness.steps[start:]
+            kinds = {s.kind for s in segment}
+            if kinds <= {"act", "env"} and "act" in kinds and "env" in kinds:
+                return conclude(
+                    "livelock",
+                    f"position after step {start} revisited: the final "
+                    f"{len(segment)} step(s) cycle without progress",
+                    forced,
+                )
+        return ReplayOutcome(
+            False,
+            forced=forced,
+            annotated=annotated,
+            note="schedule does not revisit a position without progress",
+        )
 
     # -- deterministic completion (no interference) ------------------------
     while not config.done:

@@ -63,6 +63,12 @@ class ExplorationResult:
     deduped: int = 0
     #: Largest DFS frontier observed (sampled every 256 expansions).
     frontier_peak: int = 0
+    #: Livelock lassos observed by the bounded liveness detector
+    #: (``explore(liveness=True)``): kind-"livelock" violations whose trace
+    #: ends with a progress-free cycle.  Deliberately *not* folded into
+    #: ``violations``: a livelock candidate is a liveness finding, and the
+    #: safety verdict (``ok``) must be identical with the detector on or off.
+    cycles: list[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -80,6 +86,8 @@ class ExplorationResult:
             body += f" unfingerprinted={self.unfingerprinted}"
         if self.por_active:
             body += f" por_pruned={self.por_pruned}"
+        if self.cycles:
+            body += f" cycles={len(self.cycles)}"
         return body
 
 
@@ -129,6 +137,7 @@ def explore(
     dedupe: bool = True,
     domination: bool = True,
     por: Any = None,
+    liveness: bool = False,
 ) -> ExplorationResult:
     """Exhaustive DFS over schedules (and interference, up to ``env_budget``).
 
@@ -160,6 +169,17 @@ def explore(
     schedules the commutation facts cover.  Verdict and terminal-set
     equality against the unreduced search is gated per registry program
     in tests/test_por_equiv.py.
+
+    ``liveness`` (default off) turns on the bounded livelock detector:
+    when a configuration revisits a memoized position key and its trace
+    extends an earlier visit's trace by a cycle of act and env events
+    with at least one of each — threads stepped, the environment
+    interfered, yet the position did not advance — a kind-"livelock"
+    :class:`Violation` carrying the full lasso trace is recorded in
+    :attr:`ExplorationResult.cycles`.  The detector is purely
+    observational: it never changes pruning, so verdicts, terminal sets
+    and exploration counts are identical with it on or off
+    (tests/test_liveness_equiv.py gates this per registry program).
     """
     oracle: Any = por if por not in (None, False, True) else None
     if por is True:
@@ -190,6 +210,10 @@ def explore(
                     result.unfingerprinted += 1
                 if pos is not None:
                     visits = seen.setdefault(pos, [])
+                    if liveness and visits and current.trace is not None:
+                        # Observe (never prune): a revisit whose trace
+                        # extends an earlier visit's is a lasso candidate.
+                        _record_lasso(result, visits, current)
                     if domination:
                         # Prune iff a prior visit dominates: it had at least as
                         # much interference budget and step depth remaining.
@@ -289,7 +313,57 @@ def explore(
                 env_spent=env_spent,
                 por_active=result.por_active,
                 por_pruned=result.por_pruned,
+                cycles=len(result.cycles),
             )
+
+
+#: Most livelock lassos recorded per exploration.  One is enough to
+#: explain and minimize; a handful guards against the first being
+#: unreplayable.  The cap bounds both memory (each lasso pins its trace)
+#: and the quadratic trace-prefix comparisons at hot revisit sites.
+LIVELOCK_CYCLE_CAP = 8
+
+
+def _record_lasso(
+    result: ExplorationResult,
+    visits: list[tuple[int, int, Config]],
+    current: Config,
+) -> None:
+    """Record a livelock lasso at a revisited position key.
+
+    A lasso is a schedule whose trace extends an earlier visit's trace *at
+    the same position* by a segment of only "act" and "env" events
+    containing at least one of each: threads kept taking steps, the
+    environment kept interfering, and the configuration did not advance.
+    A pure act cycle (no env) is a scheduler stutter under zero
+    interference — the CAS spin loop converging on its own key — and a
+    pure env cycle involves no thread at all; neither is evidence of
+    livelock, so both stay silent.
+    """
+    if len(result.cycles) >= LIVELOCK_CYCLE_CAP:
+        return
+    events = current.trace.events
+    for __, __, earlier in visits:
+        if earlier.trace is None:
+            continue
+        prior = earlier.trace.events
+        if not len(prior) < len(events) or events[: len(prior)] != prior:
+            continue
+        segment = events[len(prior) :]
+        kinds = {ev.kind for ev in segment}
+        if kinds <= {"act", "env"} and "act" in kinds and "env" in kinds:
+            acts = sum(1 for ev in segment if ev.kind == "act")
+            envs = len(segment) - acts
+            result.cycles.append(
+                Violation(
+                    "livelock",
+                    f"schedule revisits its position after {acts} action "
+                    f"step(s) and {envs} interference step(s) without "
+                    f"progressing",
+                    current.trace,
+                )
+            )
+            return
 
 
 def _crash_trace(config: Config, tid: int) -> Trace | None:

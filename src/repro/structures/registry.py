@@ -57,6 +57,12 @@ class ProgramInfo:
     #: different budgets must never share a cache entry).  Empty means
     #: "the verifier's own defaults".
     verifier_kwargs: Mapping[str, object] = field(default_factory=dict)
+    #: Demonstration rows (deliberately defective structures for the
+    #: fcsl-live positive cases).  Excluded from :func:`all_programs` —
+    #: the paper tables, Figure 5, and the default verification sweep
+    #: cover exactly the eleven case studies — but resolvable by name
+    #: through :func:`program` and swept by ``repro live``.
+    demo: bool = False
 
     def uses(self, column: str) -> str:
         """"" | "yes" | "lock-interface" for a Table 2 column."""
@@ -225,20 +231,66 @@ FIGURE5_NODE_NAMES: Mapping[str, str] = {
     "Prod/Cons": "Producer/Consumer",
 }
 
+def _build_demos() -> tuple[ProgramInfo, ...]:
+    from .locks.demo import verify_two_lock_demo, verify_unfair_lock
+
+    return (
+        ProgramInfo(
+            name="Two-lock demo",
+            concurroids={"Priv": "yes", "CLock": "yes"},
+            modules=("repro.structures.locks.demo",),
+            verifier=verify_two_lock_demo,
+            notes=(
+                "fcsl-live demo: two CAS locks acquired in opposite orders "
+                "by parallel ladders — the FCSL050 deadlock-cycle positive "
+                "case."
+            ),
+            demo=True,
+        ),
+        ProgramInfo(
+            name="Unfair lock demo",
+            concurroids={"Priv": "yes", "CLock": "yes"},
+            modules=("repro.structures.locks.demo",),
+            verifier=verify_unfair_lock,
+            notes=(
+                "fcsl-live demo: a spinlock falsely claiming FIFO fairness "
+                "— the livelock/starvation witness positive case.  Its "
+                "fifo-fairness obligation fails by design."
+            ),
+            demo=True,
+        ),
+    )
+
+
 _REGISTRY: tuple[ProgramInfo, ...] | None = None
+_DEMOS: tuple[ProgramInfo, ...] | None = None
 
 
 def all_programs() -> tuple[ProgramInfo, ...]:
     """The registry, in Table 1 row order (built lazily: importing every
-    structure at module load would be heavy)."""
+    structure at module load would be heavy).  Exactly the paper's eleven
+    case studies — demo rows live in :func:`demo_programs`."""
     global _REGISTRY
     if _REGISTRY is None:
         _REGISTRY = _build_registry()
     return _REGISTRY
 
 
+def demo_programs() -> tuple[ProgramInfo, ...]:
+    """The demonstration rows (``demo=True``): fcsl-live positive cases."""
+    global _DEMOS
+    if _DEMOS is None:
+        _DEMOS = _build_demos()
+    return _DEMOS
+
+
+def registry_programs() -> tuple[ProgramInfo, ...]:
+    """Every registered program: the paper's eleven plus the demo rows."""
+    return all_programs() + demo_programs()
+
+
 def program(name: str) -> ProgramInfo:
-    for info in all_programs():
+    for info in registry_programs():
         if info.name == name:
             return info
     raise KeyError(f"no registered program named {name!r}")

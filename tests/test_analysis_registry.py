@@ -23,7 +23,7 @@ from repro.analysis.specs import probe_self_framed
 from repro.analysis.targets import TARGET_BUILDERS, bounded_closure, target_for
 from repro.core.stability import check_stability
 from repro.core.verify import get_prepass, set_prepass
-from repro.structures.registry import all_programs
+from repro.structures.registry import registry_programs
 
 from .helpers import CELL, LABEL, CounterConcurroid, counter_state
 
@@ -33,7 +33,7 @@ from .helpers import CELL, LABEL, CounterConcurroid, counter_state
 
 def test_every_registry_program_has_a_lint_target():
     assert missing_targets() == []
-    names = {info.name for info in all_programs()}
+    names = {info.name for info in registry_programs()}
     assert set(TARGET_BUILDERS) == names
 
 
@@ -135,7 +135,7 @@ def test_broken_prepass_never_fails_a_proof(counter_family):
 
 
 def test_prepass_skips_are_reported():
-    info = next(i for i in all_programs() if i.name == "CAS-lock")
+    info = next(i for i in registry_programs() if i.name == "CAS-lock")
     with static_prepass():
         report = info.verifier()
     assert report.ok and report.prepass_skips >= 1

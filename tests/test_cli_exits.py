@@ -1,5 +1,5 @@
-"""The CLI exit-code contract: lint, race, verify, profile and explain
-agree.
+"""The CLI exit-code contract: lint, race, live, verify, profile and
+explain agree.
 
 The subcommands share one mapping — 0 all clean / verified / nothing to
 explain, 1 findings (diagnostic past the severity threshold, failed
@@ -29,7 +29,7 @@ def _warning_diag() -> Diagnostic:
 # -- usage errors: exit 2 ---------------------------------------------------------------
 
 
-@pytest.mark.parametrize("cmd", ["lint", "race"])
+@pytest.mark.parametrize("cmd", ["lint", "race", "live"])
 def test_unknown_program_is_usage_error(cmd, capsys):
     assert main([cmd, "--program", "No such program"]) == 2
     assert "No such program" in capsys.readouterr().err
@@ -60,36 +60,40 @@ def test_explain_unknown_program_is_usage_error(capsys):
 @pytest.fixture
 def patched(monkeypatch):
     def patch(cmd: str, fn) -> None:
-        name = {"lint": "lint_registry", "race": "race_registry"}[cmd]
+        name = {
+            "lint": "lint_registry",
+            "race": "race_registry",
+            "live": "live_registry",
+        }[cmd]
         monkeypatch.setattr(f"repro.analysis.{name}", fn)
 
     return patch
 
 
-@pytest.mark.parametrize("cmd", ["lint", "race"])
+@pytest.mark.parametrize("cmd", ["lint", "race", "live"])
 def test_clean_sweep_exits_zero(cmd, patched, capsys):
     patch = patched
     patch(cmd, lambda names=None: [])
     assert main([cmd]) == 0
-    tool = {"lint": "fcsl-lint", "race": "fcsl-race"}[cmd]
+    tool = {"lint": "fcsl-lint", "race": "fcsl-race", "live": "fcsl-live"}[cmd]
     assert f"{tool}: clean" in capsys.readouterr().out
 
 
-@pytest.mark.parametrize("cmd", ["lint", "race"])
+@pytest.mark.parametrize("cmd", ["lint", "race", "live"])
 def test_error_finding_exits_one(cmd, patched, capsys):
     patched(cmd, lambda names=None: [_error_diag()])
     assert main([cmd]) == 1
     assert "FCSL045" in capsys.readouterr().out
 
 
-@pytest.mark.parametrize("cmd", ["lint", "race"])
+@pytest.mark.parametrize("cmd", ["lint", "race", "live"])
 def test_warning_needs_strict_to_fail(cmd, patched, capsys):
     patched(cmd, lambda names=None: [_warning_diag()])
     assert main([cmd]) == 0
     assert main([cmd, "--strict"]) == 1
 
 
-@pytest.mark.parametrize("cmd", ["lint", "race"])
+@pytest.mark.parametrize("cmd", ["lint", "race", "live"])
 def test_analysis_crash_is_infra(cmd, patched, capsys):
     def boom(names=None):
         raise RuntimeError("synthetic analyzer bug")
@@ -221,3 +225,23 @@ def test_race_clean_on_real_registry(capsys):
     assert main(["race", "--format", "json"]) == 0
     out = capsys.readouterr().out
     assert '"tool": "fcsl-race"' in out
+
+
+def test_live_flags_demo_rows_on_real_registry(capsys):
+    """The full liveness sweep exits 1 *by design*: the demo rows exist
+    to keep the FCSL05x positive cases in-tree (two-lock deadlock cycle,
+    unfair-lock fairness refutation)."""
+    assert main(["live", "--format", "json"]) == 1
+    out = capsys.readouterr().out
+    assert '"tool": "fcsl-live"' in out
+    assert "FCSL050" in out
+    assert "FCSL056" in out
+
+
+def test_live_clean_on_ticketed_lock(capsys):
+    """Restricted to a paper case study, the sweep is error-free and the
+    ticketed lock's FIFO fairness claim is mechanically confirmed."""
+    assert main(["live", "--program", "Ticketed lock"]) == 0
+    out = capsys.readouterr().out
+    assert "FCSL059" in out
+    assert "fairness-confirmed" in out
