@@ -1,0 +1,150 @@
+"""Parallel/symmetry/compaction benchmark for the single-program explorer.
+
+Three measurements, one artifact (``benchmarks/out/parallel_explore.json``):
+
+* **Parallel speedup** — the largest registry exploration
+  (:data:`~repro.analysis.scenarios.BENCH_SCENARIO`, three symmetric
+  pair-snapshot readers under two interference steps, ~15k configs)
+  serial vs frontier-sharded.  Cross-shard dedupe is weaker than serial
+  dedupe, so sharding *inflates total work* by a bounded factor and buys
+  wall-clock only from real cores; the bench asserts soundness (verdict
+  + exact terminal-set equality), bounds the work inflation, and
+  enforces the wall-clock overhead bound whenever the machine has cores
+  to parallelize onto (single-core CI boxes record the honest slowdown
+  instead of faking a win).
+* **Symmetry reduction** — the two-reader pair snapshot post-POR must
+  shrink by at least 25% under canonical position keys (ISSUE 7: the
+  128-config post-POR diamond drops to 86).
+* **Compaction memory** — ``tracemalloc`` peaks with the memo storing
+  compact visit records vs pinning whole configurations; compaction must
+  strictly lower the peak (the satellite fix this gate protects: the
+  ``seen`` memo used to pin every Config it ever saw).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+
+from repro.analysis.scenarios import (
+    BENCH_SCENARIO,
+    POR_SCENARIOS,
+    run_scenario,
+)
+
+from conftest import emit
+
+#: Workers for the speedup row (capped: the scenario shards into ~4x).
+JOBS = max(2, min(4, os.cpu_count() or 1))
+
+#: Redundant work bound: sharded exploration may re-visit states across
+#: shards, but never more than this factor of the serial graph.
+MAX_WORK_INFLATION = 4.0
+
+#: Wall-clock bound when real cores are available: the sharded run may
+#: not exceed this factor of the serial wall time.
+MAX_PARALLEL_OVERHEAD = 1.3
+
+#: The symmetry cut the pair snapshot must clear post-POR (ISSUE 7).
+MIN_SYMMETRY_REDUCTION = 0.25
+
+
+def _scenario(key: str):
+    return next(s for s in POR_SCENARIOS if s.key == key)
+
+
+def test_parallel_symmetry_compaction(out_dir):
+    payload: dict = {"cores": os.cpu_count(), "jobs": JOBS}
+
+    # --- parallel speedup on the largest registry exploration -----------
+    t0 = time.perf_counter()
+    serial = run_scenario(BENCH_SCENARIO, por=False)
+    t1 = time.perf_counter()
+    sharded = run_scenario(BENCH_SCENARIO, por=False, parallel=JOBS)
+    t2 = time.perf_counter()
+
+    assert serial.ok and sharded.ok
+    assert serial.terminal_signatures() == sharded.terminal_signatures()
+    assert sharded.shards > 0, "the bench scenario must actually shard"
+    assert sharded.explored <= serial.explored * MAX_WORK_INFLATION, (
+        f"cross-shard redundancy blew past {MAX_WORK_INFLATION}x: "
+        f"{sharded.explored} vs serial {serial.explored}"
+    )
+    serial_wall, parallel_wall = t1 - t0, t2 - t1
+    speedup = serial_wall / parallel_wall if parallel_wall else 0.0
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_wall <= serial_wall * MAX_PARALLEL_OVERHEAD, (
+            f"parallel overhead bound: {parallel_wall:.2f}s vs "
+            f"{serial_wall:.2f}s serial (max {MAX_PARALLEL_OVERHEAD}x)"
+        )
+    payload["parallel"] = {
+        "scenario": BENCH_SCENARIO.key,
+        "configs_serial": serial.explored,
+        "configs_sharded": sharded.explored,
+        "shards": sharded.shards,
+        "terminals": sharded.terminal_total,
+        "seconds_serial": serial_wall,
+        "seconds_parallel": parallel_wall,
+        "speedup": speedup,
+    }
+
+    # --- symmetry reduction on the symmetric two-reader client ----------
+    rp = _scenario("Pair snapshot/rp||rp")
+    base = run_scenario(rp, por=True)
+    sym = run_scenario(rp, por=True, symmetry=True)
+    assert base.ok and sym.ok
+    assert (
+        sym.symmetric_terminal_signatures() == base.symmetric_terminal_signatures()
+    )
+    cut = (base.explored - sym.explored) / base.explored
+    assert cut >= MIN_SYMMETRY_REDUCTION, (
+        f"symmetry cut {cut:.1%} on {rp.key} post-POR "
+        f"(required >= {MIN_SYMMETRY_REDUCTION:.0%})"
+    )
+    payload["symmetry"] = {
+        "scenario": rp.key,
+        "configs_por": base.explored,
+        "configs_por_sym": sym.explored,
+        "reduction": cut,
+    }
+
+    # --- compaction memory on a mid-size exploration --------------------
+    wx = _scenario("Pair snapshot/rp||wx")
+    peaks = {}
+    for compact in (True, False):
+        tracemalloc.start()
+        result = run_scenario(wx, por=False, compact=compact)
+        __, peaks[compact] = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert result.ok
+    assert peaks[True] < peaks[False], (
+        f"compaction did not lower the traced peak: "
+        f"{peaks[True]} vs {peaks[False]} bytes"
+    )
+    payload["compaction"] = {
+        "scenario": wx.key,
+        "peak_bytes_compact": peaks[True],
+        "peak_bytes_pinned": peaks[False],
+        "saving": 1 - peaks[True] / peaks[False],
+    }
+
+    (out_dir / "parallel_explore.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    p, s, c = payload["parallel"], payload["symmetry"], payload["compaction"]
+    lines = [
+        "parallel exploration (frontier sharding, symmetry, compaction)",
+        f"parallel  {p['scenario']:<24} serial {p['seconds_serial']:.2f}s "
+        f"({p['configs_serial']} cfg)  sharded x{JOBS} {p['seconds_parallel']:.2f}s "
+        f"({p['configs_sharded']} cfg, {p['shards']} shards)  "
+        f"speedup {p['speedup']:.2f}x on {payload['cores']} core(s)",
+        f"symmetry  {s['scenario']:<24} post-POR {s['configs_por']} -> "
+        f"{s['configs_por_sym']} cfg  cut {s['reduction']:.1%} "
+        f"(required >= {MIN_SYMMETRY_REDUCTION:.0%})",
+        f"compact   {c['scenario']:<24} peak {c['peak_bytes_compact']} B vs "
+        f"{c['peak_bytes_pinned']} B pinned  saving {c['saving']:.1%}",
+    ]
+    emit(out_dir, "parallel_explore.txt", "\n".join(lines))

@@ -148,6 +148,8 @@ def _run_verify(args: argparse.Namespace) -> int:
                 prepass=not args.no_prepass,
                 por=args.por,
                 liveness=args.liveness,
+                symmetry=args.symmetry,
+                explore_jobs=args.explore_jobs,
                 timeout=args.timeout,
                 retries=args.retries,
                 faults=plan,
@@ -406,6 +408,22 @@ def main(argv: list[str] | None = None) -> int:
         help="enable the bounded livelock detector during exploration: "
         "progress-free lassos are recorded as replayable witnesses "
         "(verdict-preserving; default off)",
+    )
+    verify.add_argument(
+        "--symmetry",
+        action="store_true",
+        help="enable thread-identity symmetry reduction: merge "
+        "configurations equal modulo permutation of sibling threads "
+        "(verdict-preserving; default off)",
+    )
+    verify.add_argument(
+        "--explore-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard each program's schedule exploration across N worker "
+        "processes (default 1 = serial; with --jobs unset the sweep "
+        "itself then runs in-process so the cores go to exploration)",
     )
     verify.add_argument(
         "--inject",

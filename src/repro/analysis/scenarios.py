@@ -39,6 +39,15 @@ class PorScenario:
     max_steps: int
     env_budget: int
     max_configs: int = 200_000
+    #: Whether symmetry reduction preserves the terminal set exactly
+    #: modulo result-pair permutation.  False only when identical
+    #: sibling threads feed *order-sensitive* join logic (the spanning
+    #: tree writes its left or right edge slot depending on which child
+    #: won the marking race), where the reduction keeps one
+    #: representative terminal per orbit — the standard quotient
+    #: semantics; the verdict is still exact because every registry spec
+    #: is invariant under the orbit map.
+    sym_exact: bool = True
 
     @property
     def key(self) -> str:
@@ -122,6 +131,10 @@ def _pair_snapshot(shape: str) -> Built:
         "rp||rp": par(rp(), rp()),
         "rp||(rp||wx)": par(rp(), par(rp(), wx())),
         "rp||wx": par(rp(), wx()),
+        # The scaling scenario: three symmetric readers under heavy
+        # interference — the largest registry exploration, used by
+        # bench_parallel_explore.py to demonstrate the parallel speedup.
+        "rp||(rp||rp)": par(rp(), par(rp(), rp())),
     }
     return (World((conc,)), initial_state(conc), progs[shape])
 
@@ -226,7 +239,69 @@ POR_SCENARIOS: tuple[PorScenario, ...] = (
     PorScenario("FC-stack", "push||pop", _fc_stack, 80, 0, 300_000),
     PorScenario("Prod/Cons", "prodcons(1)", _prod_cons, 300, 0, 500_000),
     PorScenario("Seq. stack", "push;pop", _seq_stack, 120, 0),
-    PorScenario("Spanning tree", "span_root/2", _spanning_tree, 80, 0),
+    # Both root edges lead to the same node, so the two span() children
+    # are identical programs racing to mark it; the join writes the
+    # winning edge slot, making the terminal heaps mirror images — the
+    # one registry program whose symmetry quotient is a strict subset.
+    PorScenario(
+        "Spanning tree", "span_root/2", _spanning_tree, 80, 0, sym_exact=False
+    ),
+)
+
+
+def _two_lock_demo() -> Built:
+    from ..structures.locks.demo import (
+        demo_initial_state,
+        demo_world,
+        ladder,
+        make_demo_locks,
+    )
+
+    la, lb = make_demo_locks()
+    return (demo_world(la, lb), demo_initial_state(la, lb), ladder(la, lb))
+
+
+def _unfair_lock_demo() -> Built:
+    from ..structures.locks.demo import make_unfair_lock
+    from ..structures.locks.verify import (
+        bump_client,
+        lock_initial_state,
+        lock_world,
+    )
+    from ..core.prog import par
+
+    lock = make_unfair_lock()
+    return (
+        lock_world(lock),
+        lock_initial_state(lock, 0, 0),
+        par(bump_client(lock), bump_client(lock)),
+    )
+
+
+#: The two ``demo=True`` registry rows (deliberately defective fcsl-live
+#: positive cases, name-resolvable but excluded from default sweeps);
+#: bounds mirror their verify_* Main triples.
+DEMO_SCENARIOS: tuple[PorScenario, ...] = (
+    PorScenario("Two-lock demo", "ladder-la-lb", _two_lock_demo, 40, 1),
+    PorScenario("Unfair lock demo", "bump||bump", _unfair_lock_demo, 80, 1),
+)
+
+#: The exploration-equivalence gate (tests/test_explore_equiv.py) runs
+#: every registry program *including* the demo rows through the
+#: parallel/symmetry/POR/liveness combination matrix.
+EXPLORE_SCENARIOS: tuple[PorScenario, ...] = POR_SCENARIOS + DEMO_SCENARIOS
+
+#: The largest registry exploration: three symmetric pair-snapshot
+#: readers under two interference steps.  Big enough (>10k configs,
+#: tens of seconds serial) that frontier-sharded parallel exploration
+#: shows a wall-clock win; bench_parallel_explore.py measures it.
+BENCH_SCENARIO = PorScenario(
+    "Pair snapshot",
+    "rp||(rp||rp)",
+    lambda: _pair_snapshot("rp||(rp||rp)"),
+    90,
+    2,
+    500_000,
 )
 
 
@@ -242,7 +317,15 @@ def por_scenarios(names: Iterable[str] | None = None) -> list[PorScenario]:
     return [s for s in POR_SCENARIOS if s.program in wanted]
 
 
-def run_scenario(scenario: PorScenario, *, por: bool, liveness: bool = False):
+def run_scenario(
+    scenario: PorScenario,
+    *,
+    por: bool,
+    liveness: bool = False,
+    symmetry: bool = False,
+    parallel: int = 1,
+    compact: bool = True,
+):
     """Explore one scenario, reduced or not, with its verification bounds.
 
     ``por=True`` lets explore() build the interference oracle itself
@@ -250,7 +333,9 @@ def run_scenario(scenario: PorScenario, *, por: bool, liveness: bool = False):
     search, so the result is comparable either way.  ``liveness=True``
     additionally arms the bounded livelock detector — observational by
     construction, which tests/test_liveness_equiv.py checks against
-    these same scenarios.
+    these same scenarios.  ``symmetry``/``parallel``/``compact`` select
+    the PR-7 scaling reductions, compared against the serial explorer by
+    tests/test_explore_equiv.py over :data:`EXPLORE_SCENARIOS`.
     """
     from ..semantics.explore import explore
     from ..semantics.interp import initial_config
@@ -264,6 +349,9 @@ def run_scenario(scenario: PorScenario, *, por: bool, liveness: bool = False):
         max_configs=scenario.max_configs,
         por=por,
         liveness=liveness,
+        symmetry=symmetry,
+        parallel=parallel,
+        compact=compact,
     )
 
 

@@ -115,6 +115,66 @@ def liveness_default() -> bool:
     return os.environ.get(_LIVENESS_ENV, "") == "1"
 
 
+# -- the symmetry default -----------------------------------------------------------------
+#
+# check_triple threads ``symmetry`` to explore() the same way: position
+# keys canonical modulo permutation of sibling threads.  Gated by
+# tests/test_explore_equiv.py (verdict + terminal-set equality modulo
+# thread permutation, per registry program).
+
+_SYMMETRY_ENV = "REPRO_SYMMETRY"
+_SYMMETRY_DEFAULT: bool | None = None
+
+
+def set_symmetry_default(flag: bool | None) -> None:
+    """Set (or with ``None`` clear) the process-wide symmetry default."""
+    global _SYMMETRY_DEFAULT
+    _SYMMETRY_DEFAULT = flag
+    if flag is None:
+        os.environ.pop(_SYMMETRY_ENV, None)
+    else:
+        os.environ[_SYMMETRY_ENV] = "1" if flag else "0"
+
+
+def symmetry_default() -> bool:
+    """The current symmetry default (module global, else REPRO_SYMMETRY)."""
+    if _SYMMETRY_DEFAULT is not None:
+        return _SYMMETRY_DEFAULT
+    return os.environ.get(_SYMMETRY_ENV, "") == "1"
+
+
+# -- the exploration-parallelism default --------------------------------------------------
+#
+# check_triple threads ``parallel`` to explore(): >1 shards a single
+# program's schedule search across a supervised worker pool
+# (repro.semantics.parallel).  Inside a daemonic engine worker the
+# explorer falls back to serial on its own, so the env mirror is safe to
+# inherit everywhere.
+
+_EXPLORE_JOBS_ENV = "REPRO_EXPLORE_JOBS"
+_EXPLORE_JOBS_DEFAULT: int | None = None
+
+
+def set_explore_jobs_default(jobs: int | None) -> None:
+    """Set (or with ``None`` clear) the process-wide exploration width."""
+    global _EXPLORE_JOBS_DEFAULT
+    _EXPLORE_JOBS_DEFAULT = jobs
+    if jobs is None:
+        os.environ.pop(_EXPLORE_JOBS_ENV, None)
+    else:
+        os.environ[_EXPLORE_JOBS_ENV] = str(jobs)
+
+
+def explore_jobs_default() -> int:
+    """The current exploration width (module global, else REPRO_EXPLORE_JOBS)."""
+    if _EXPLORE_JOBS_DEFAULT is not None:
+        return _EXPLORE_JOBS_DEFAULT
+    try:
+        return int(os.environ.get(_EXPLORE_JOBS_ENV, "1"))
+    except ValueError:
+        return 1
+
+
 # Skip attribution is scoped, not global: each in-flight obligation pushes
 # a frame, and a dynamic checker that skips work on the pre-pass's word
 # reports it to the *innermost* frame via record_prepass_skip.  Counting
@@ -388,6 +448,8 @@ def check_triple(
     domination: bool = True,
     por: bool | None = None,
     liveness: bool | None = None,
+    symmetry: bool | None = None,
+    parallel: int | None = None,
 ) -> list[TripleOutcome]:
     """Check ``spec`` on every scenario by exhaustive schedule exploration.
 
@@ -412,6 +474,14 @@ def check_triple(
     safety verdicts are unchanged by construction.  ``None`` defers to
     :func:`liveness_default` (``REPRO_LIVENESS``), off unless the
     process opted in.
+
+    ``symmetry`` memoizes exploration on position keys canonical modulo
+    permutation of sibling threads; ``parallel`` > 1 shards each
+    scenario's schedule search across a supervised worker pool.  Both
+    default through :func:`symmetry_default` / :func:`explore_jobs_default`
+    (``REPRO_SYMMETRY`` / ``REPRO_EXPLORE_JOBS``) and both are gated
+    against the serial explorer per registry program in
+    tests/test_explore_equiv.py.
     """
     # Imported here to break the core <-> semantics import cycle.
     from ..semantics.explore import explore
@@ -419,6 +489,8 @@ def check_triple(
 
     use_por = por_default() if por is None else por
     use_liveness = liveness_default() if liveness is None else liveness
+    use_symmetry = symmetry_default() if symmetry is None else symmetry
+    use_parallel = explore_jobs_default() if parallel is None else parallel
 
     def oracle_for(scenario: Scenario):
         if not use_por:
@@ -467,6 +539,8 @@ def check_triple(
             domination=domination,
             por=oracle_for(scenario),
             liveness=use_liveness,
+            symmetry=use_symmetry,
+            parallel=use_parallel,
         )
         tr = obs_tracer.current()
         if tr is not None:
@@ -476,14 +550,14 @@ def check_triple(
                 started * 1e6,
                 time.perf_counter() * 1e6,
                 explored=result.explored,
-                terminals=len(result.terminals),
+                terminals=result.terminal_total,
                 violations=len(result.violations),
                 cycles=len(result.cycles),
                 truncated=result.truncated,
                 env_budget=env_budget,
             )
         outcome.explored = result.explored
-        outcome.terminals = len(result.terminals)
+        outcome.terminals = result.terminal_total
         outcome.truncated = result.truncated
         outcome.por_pruned = result.por_pruned
         outcome.por_active = result.por_active

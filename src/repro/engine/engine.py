@@ -47,11 +47,15 @@ from typing import Any, Iterable, Sequence
 from ..core.verify import (
     CATEGORIES,
     VerificationReport,
+    explore_jobs_default,
     liveness_default,
     por_default,
+    set_explore_jobs_default,
     set_liveness_default,
     set_por_default,
     set_prepass,
+    set_symmetry_default,
+    symmetry_default,
 )
 from ..obs import tracer as obs_tracer
 from ..structures.registry import ProgramInfo, all_programs, registry_programs
@@ -303,6 +307,37 @@ def _liveness_installed(flag: bool):
         set_liveness_default(previous)
 
 
+@contextmanager
+def _symmetry_installed(flag: bool):
+    """Make ``flag`` the process symmetry default for a sweep's duration.
+
+    Same mechanism as :func:`_por_installed`: mirrored into
+    ``REPRO_SYMMETRY`` for pool workers, previous default restored."""
+    previous = symmetry_default()
+    set_symmetry_default(flag)
+    try:
+        yield
+    finally:
+        set_symmetry_default(previous)
+
+
+@contextmanager
+def _explore_jobs_installed(jobs: int):
+    """Make ``jobs`` the process exploration width for a sweep's duration.
+
+    Mirrored into ``REPRO_EXPLORE_JOBS``.  Pool workers are daemonic and
+    cannot nest a shard pool, so inside a fanned-out sweep the explorer
+    falls back to serial on its own; the setting matters on the
+    ``--jobs 1`` in-process path, where each program's exploration gets
+    the whole machine instead."""
+    previous = explore_jobs_default()
+    set_explore_jobs_default(jobs)
+    try:
+        yield
+    finally:
+        set_explore_jobs_default(previous)
+
+
 def _verify_one(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
     """Run one case study's verifier; returns a picklable payload.
 
@@ -458,6 +493,8 @@ def sweep(
     prepass: bool = True,
     por: bool = False,
     liveness: bool = False,
+    symmetry: bool = False,
+    explore_jobs: int = 1,
     timeout: float | None = None,
     retries: int = 1,
     backoff: float = 0.25,
@@ -478,6 +515,17 @@ def sweep(
     process default for the sweep: progress-free lassos are recorded as
     witnesses on the obligations that found them, but never become
     issues, so verdicts (and cached reports) are again unaffected.
+
+    ``symmetry`` installs thread-identity symmetry reduction as the
+    process default for the sweep; like POR it only merges permutation-
+    equivalent interleavings, so verdicts (and cached reports) are
+    unaffected (tests/test_explore_equiv.py gates this).
+
+    ``explore_jobs`` > 1 parallelizes each *single program's* schedule
+    search (:mod:`repro.semantics.parallel`).  Because shard pools
+    cannot nest inside daemonic sweep workers, requesting it with
+    ``jobs`` unset switches the sweep itself to the serial in-process
+    path — the cores go to exploration instead of program fan-out.
 
     ``timeout`` bounds each program's wall clock per attempt (pool path
     only); ``retries`` re-dispatches crashed/timed-out/raised programs
@@ -519,6 +567,10 @@ def sweep(
                 tr.instant("cache:miss", "cache", program=info.name)
         pending.append(info)
 
+    if jobs is None and explore_jobs > 1:
+        # Give the cores to per-program exploration shards, not program
+        # fan-out: a daemonic sweep worker cannot host a shard pool.
+        jobs = 1
     jobs = default_jobs(len(pending)) if jobs is None else max(1, jobs)
     jobs = min(jobs, len(pending)) if pending else 1
 
@@ -529,7 +581,9 @@ def sweep(
     if pending:
         # The plan stays installed through the store loop below: torn
         # cache writes are a cache-site fault, fired in this process.
-        with _por_installed(por), _liveness_installed(liveness), plan_installed(plan):
+        with _por_installed(por), _liveness_installed(liveness), \
+                _symmetry_installed(symmetry), \
+                _explore_jobs_installed(explore_jobs), plan_installed(plan):
             if jobs == 1:
                 results, interrupted = _serial_results(pending, prepass=prepass)
             elif not supervised:
@@ -640,6 +694,8 @@ def run_sweep(
     prepass: bool = True,
     por: bool = False,
     liveness: bool = False,
+    symmetry: bool = False,
+    explore_jobs: int = 1,
     timeout: float | None = None,
     retries: int = 1,
     backoff: float = 0.25,
@@ -655,6 +711,8 @@ def run_sweep(
         prepass=prepass,
         por=por,
         liveness=liveness,
+        symmetry=symmetry,
+        explore_jobs=explore_jobs,
         timeout=timeout,
         retries=retries,
         backoff=backoff,

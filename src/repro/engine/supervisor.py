@@ -44,7 +44,6 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from ..obs.tracer import instant as _trace_instant
-from ..structures.registry import ProgramInfo
 
 #: Final task statuses that denote an infrastructure problem (the sweep
 #: could not obtain a verdict), as opposed to a verification verdict.
@@ -129,7 +128,13 @@ def announce(program: str) -> None:
 
 
 class _Task:
-    """Mutable supervision state for one program."""
+    """Mutable supervision state for one task.
+
+    Supervision is duck-typed over its task descriptors: anything with a
+    ``name`` attribute works — registry ``ProgramInfo`` rows for sweeps,
+    or the parallel explorer's shard descriptors
+    (:class:`repro.semantics.parallel._ShardInfo`).
+    """
 
     __slots__ = (
         "info",
@@ -143,7 +148,7 @@ class _Task:
         "done",
     )
 
-    def __init__(self, info: ProgramInfo):
+    def __init__(self, info: Any):
         self.info = info
         self.attempt = 1
         self.retries = 0
@@ -177,7 +182,7 @@ class Supervisor:
 
     def __init__(
         self,
-        programs: Sequence[ProgramInfo],
+        programs: Sequence[Any],
         *,
         worker: Callable[..., dict[str, Any]],
         config: SupervisorConfig,
@@ -542,7 +547,7 @@ class _Degraded(Exception):
 
 
 def supervise(
-    programs: Sequence[ProgramInfo],
+    programs: Sequence[Any],
     *,
     worker: Callable[..., dict[str, Any]],
     config: SupervisorConfig,

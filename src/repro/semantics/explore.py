@@ -13,6 +13,23 @@ deterministic runner is for demos and sanity tests.
 Partial correctness: paths that exceed the step bound are *truncated*, not
 failed (they correspond to executions that have not terminated yet), and
 the count of truncated paths is reported.
+
+Three scaling reductions stack on the base search, each A/B-able and
+gated by registry-wide equivalence tests:
+
+- ``por=`` prunes provably-commuting sibling expansions (PR 4,
+  tests/test_por_equiv.py);
+- ``symmetry=True`` memoizes on position keys canonical modulo
+  permutation of sibling threads (:mod:`.symmetry`,
+  tests/test_explore_equiv.py);
+- ``parallel=N`` shards the search frontier by schedule prefix across a
+  supervised worker pool (:mod:`.parallel`), merging shard results via
+  ``stable_fingerprint``-based terminal signatures.
+
+Memory compaction (``compact=True``, the default) stores visit records
+instead of whole configurations in the dedupe memo and hash-conses the
+position keys, so resident memory tracks the *frontier*, not the entire
+visited graph.
 """
 
 from __future__ import annotations
@@ -24,7 +41,7 @@ from typing import Any, Callable
 
 from ..core.errors import VerificationError
 from ..obs import tracer as _obs
-from .interp import Config, do_action, env_successors
+from .interp import Config, _sort_key, do_action, env_successors, stable_fingerprint
 from .trace import Event, Trace
 
 
@@ -41,6 +58,49 @@ class Violation:
         if self.trace is not None and len(self.trace):
             body += "\n  trace:\n    " + "\n    ".join(str(e) for e in self.trace)
         return body
+
+
+def terminal_signature_of(config: Config) -> tuple[str, str]:
+    """A process-stable signature of a terminal configuration.
+
+    The pair (result repr, ``stable_fingerprint`` of the shared-state
+    signature) identifies what a terminal *observably* is — the value the
+    program returned and the shared state it left behind — without
+    embedding any ``id()``.  Both components are rendered to strings so
+    the signature survives pickling across the parallel explorer's worker
+    boundary and compares equal between processes (``Heap.__repr__``
+    orders cells by pointer address, so the reprs are deterministic).
+    """
+    return (repr(config.result), repr(stable_fingerprint(config.shared_signature())))
+
+
+def symmetric_result_image(value: Any) -> Any:
+    """``value`` with every pair put in canonical order, recursively.
+
+    ``par`` returns its children's results as a 2-tuple, so permuting
+    sibling threads permutes exactly the pairs along the join spine —
+    sorting every pair is the coarsest image invariant under that.  Data
+    pairs that are not join results get sorted too, which can only
+    *conflate*, never separate: the symmetry equivalence gate therefore
+    pairs this with an exact-signature subset check (a symmetry run may
+    not invent terminals), making the combination sound and sharp.
+    """
+    if isinstance(value, tuple):
+        parts = tuple(symmetric_result_image(v) for v in value)
+        if len(parts) == 2:
+            return tuple(sorted(parts, key=_sort_key))
+        return parts
+    return value
+
+
+def symmetric_terminal_signature_of(config: Config) -> tuple[str, str]:
+    """:func:`terminal_signature_of` modulo thread permutation: the shared
+    state is already permutation-invariant (sibling contributions join
+    commutatively), so only the result needs canonicalizing."""
+    return (
+        repr(symmetric_result_image(config.result)),
+        repr(stable_fingerprint(config.shared_signature())),
+    )
 
 
 @dataclass
@@ -61,31 +121,79 @@ class ExplorationResult:
     por_active: bool = False
     #: Configurations pruned by dedupe/domination (memoized positions).
     deduped: int = 0
-    #: Largest DFS frontier observed (sampled every 256 expansions).
+    #: Largest DFS frontier observed (tracked on every push).
     frontier_peak: int = 0
+    #: Whether position keys were canonicalized modulo thread symmetry.
+    symmetry_active: bool = False
+    #: Frontier shards a parallel exploration fanned out to (0 = serial).
+    shards: int = 0
+    #: Terminals reached inside worker processes, counted remotely: their
+    #: Configs hold closures and never cross the process boundary.
+    remote_terminals: int = 0
+    #: Canonical signatures of remote terminals (see
+    #: :func:`terminal_signature_of`); ``None`` on purely-serial runs.
+    terminal_sigs: frozenset[tuple[str, str]] | None = None
+    #: Permutation-invariant signatures of remote terminals (see
+    #: :func:`symmetric_terminal_signature_of`); ``None`` when serial.
+    sym_terminal_sigs: frozenset[tuple[str, str]] | None = None
     #: Livelock lassos observed by the bounded liveness detector
     #: (``explore(liveness=True)``): kind-"livelock" violations whose trace
     #: ends with a progress-free cycle.  Deliberately *not* folded into
     #: ``violations``: a livelock candidate is a liveness finding, and the
     #: safety verdict (``ok``) must be identical with the detector on or off.
     cycles: list[Violation] = field(default_factory=list)
+    #: Unexpanded frontier left behind when ``_frontier_limit`` stopped the
+    #: search early (the parallel explorer's shard roots).  Always empty on
+    #: results returned to callers of the public API.
+    pending: list[tuple[Config, int]] = field(default_factory=list, repr=False)
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
+    @property
+    def terminal_total(self) -> int:
+        """Terminals reached anywhere: local configs plus remote counts."""
+        return len(self.terminals) + self.remote_terminals
+
     def results(self) -> list[Any]:
+        """Result values of *locally held* terminal configurations.
+
+        A parallel exploration counts worker-side terminals in
+        :attr:`remote_terminals` and identifies them via
+        :meth:`terminal_signatures`; their result objects stay remote.
+        """
         return [c.result for c in self.terminals]
+
+    def terminal_signatures(self) -> frozenset[tuple[str, str]]:
+        """Canonical cross-process signatures of every terminal reached."""
+        sigs = {terminal_signature_of(c) for c in self.terminals}
+        if self.terminal_sigs is not None:
+            sigs |= self.terminal_sigs
+        return frozenset(sigs)
+
+    def symmetric_terminal_signatures(self) -> frozenset[tuple[str, str]]:
+        """Terminal signatures modulo thread permutation — the image a
+        symmetry-reduced search preserves exactly (the equivalence gate
+        compares these, plus exact-signature containment)."""
+        sigs = {symmetric_terminal_signature_of(c) for c in self.terminals}
+        if self.sym_terminal_sigs is not None:
+            sigs |= self.sym_terminal_sigs
+        return frozenset(sigs)
 
     def summary(self) -> str:
         body = (
-            f"explored={self.explored} terminals={len(self.terminals)} "
+            f"explored={self.explored} terminals={self.terminal_total} "
             f"truncated={self.truncated} violations={len(self.violations)}"
         )
         if self.unfingerprinted:
             body += f" unfingerprinted={self.unfingerprinted}"
         if self.por_active:
             body += f" por_pruned={self.por_pruned}"
+        if self.symmetry_active:
+            body += " symmetry=on"
+        if self.shards:
+            body += f" shards={self.shards}"
         if self.cycles:
             body += f" cycles={len(self.cycles)}"
         return body
@@ -127,6 +235,27 @@ def _ample_tid(current: Config, tids: list[int], oracle: Any) -> tuple[int | Non
     return None, 0
 
 
+#: Hash-consing depth for position keys: deep enough to share the per-key
+#: sections and the per-thread records (the parts that repeat across
+#: neighbouring configurations, where only one thread moved), shallow
+#: enough that interning stays a small constant per key.
+_INTERN_DEPTH = 3
+
+
+def _intern(obj: Any, table: dict[Any, Any], depth: int = _INTERN_DEPTH) -> Any:
+    """Hash-cons ``obj``: structurally equal (sub)tuples share one object.
+
+    Position keys of neighbouring configurations differ in one thread's
+    record and share everything else; without interning each key stores
+    its own copy of the unchanged parts.  Interning down to
+    ``_INTERN_DEPTH`` levels makes the memo's resident size track the
+    number of *distinct* subrecords instead of distinct keys.
+    """
+    if depth and isinstance(obj, tuple):
+        obj = tuple(_intern(item, table, depth - 1) for item in obj)
+    return table.setdefault(obj, obj)
+
+
 def explore(
     config: Config,
     *,
@@ -138,6 +267,13 @@ def explore(
     domination: bool = True,
     por: Any = None,
     liveness: bool = False,
+    symmetry: bool = False,
+    parallel: int = 1,
+    compact: bool = True,
+    _roots: list[tuple[Config, int]] | None = None,
+    _seen: dict[tuple, list[tuple[int, int, Config | None]]] | None = None,
+    _anchors: list[Any] | None = None,
+    _frontier_limit: int | None = None,
 ) -> ExplorationResult:
     """Exhaustive DFS over schedules (and interference, up to ``env_budget``).
 
@@ -147,8 +283,11 @@ def explore(
     With ``dedupe`` (default) configurations are memoized on their
     :meth:`~repro.semantics.interp.Config.position_key` — shared state plus
     structural fingerprints of every thread's continuation — collapsing the
-    schedule *tree* into the reachable state *graph*.  The memo keeps a
-    reference to every recorded config so fingerprint ids stay valid.
+    schedule *tree* into the reachable state *graph*.  Recorded positions
+    keep their id-fingerprinted thread records alive via an anchor list so
+    fingerprint ids are never recycled; the configurations themselves (and
+    their traces) are stored only when ``liveness`` needs them or
+    ``compact=False`` requests the historical pin-everything behaviour.
 
     With ``domination`` (default) a position is pruned when any earlier
     visit to the same position key arrived having spent no more
@@ -180,7 +319,46 @@ def explore(
     observational: it never changes pruning, so verdicts, terminal sets
     and exploration counts are identical with it on or off
     (tests/test_liveness_equiv.py gates this per registry program).
+
+    ``symmetry`` (default off) memoizes on
+    :func:`~repro.semantics.symmetry.canonical_position_key` instead:
+    position keys canonical modulo permutation of sibling threads, so a
+    configuration merges with its mirror images (``rp || rp`` halves).
+    Sound for specs invariant under permuting identical-thread results;
+    gated per registry program in tests/test_explore_equiv.py.
+
+    ``parallel`` > 1 delegates to
+    :func:`~repro.semantics.parallel.explore_parallel`: a serial prefix
+    widens the frontier, which is sharded across a supervised worker
+    pool; shard results merge via canonical terminal signatures.  The
+    merged result counts worker-side terminals in
+    :attr:`ExplorationResult.remote_terminals` (their configurations stay
+    remote), and ``max_configs`` bounds the prefix and each shard
+    individually rather than the global total.
+
+    The underscore parameters are the parallel explorer's sharding hooks:
+    ``_roots`` overrides the initial stack, ``_seen``/``_anchors`` let the
+    caller own (and pre-seed) the memo, and ``_frontier_limit`` stops the
+    search once the frontier is at least that wide, parking the unexpanded
+    remainder in :attr:`ExplorationResult.pending`.
     """
+    if parallel > 1 and _roots is None and _frontier_limit is None:
+        from .parallel import explore_parallel
+
+        return explore_parallel(
+            config,
+            parallel=parallel,
+            max_steps=max_steps,
+            env_budget=env_budget,
+            max_configs=max_configs,
+            on_terminal=on_terminal,
+            dedupe=dedupe,
+            domination=domination,
+            por=por,
+            liveness=liveness,
+            symmetry=symmetry,
+            compact=compact,
+        )
     oracle: Any = por if por not in (None, False, True) else None
     if por is True:
         from ..analysis.interference import analyze_config
@@ -188,27 +366,48 @@ def explore(
         oracle = analyze_config(config)
     if oracle is not None and not getattr(oracle, "enabled", False):
         oracle = None
+    if symmetry:
+        from .symmetry import canonical_position_key
     result = ExplorationResult()
     result.por_active = oracle is not None
-    stack: list[tuple[Config, int]] = [(config, 0)]
-    #: position key -> recorded (env_used, steps, config) visits.  Configs
-    #: are kept alive so id-based fingerprint components are never recycled.
-    seen: dict[tuple, list[tuple[int, int, Config]]] = {}
+    result.symmetry_active = bool(symmetry)
+    stack: list[tuple[Config, int]] = (
+        list(_roots) if _roots is not None else [(config, 0)]
+    )
+    #: position key -> recorded (env_used, steps, config-or-None) visits.
+    #: The config slot is filled only when liveness trace-extension checks
+    #: (or compact=False) need it; anchors keep fingerprint ids valid.
+    seen: dict[tuple, list[tuple[int, int, Config | None]]] = (
+        _seen if _seen is not None else {}
+    )
+    #: Thread records of every memoized position.  Position keys embed
+    #: id()-based fingerprint components of thread programs/continuations;
+    #: anchoring the ThreadCtx objects keeps those ids from being recycled
+    #: without pinning whole configurations (and their traces).
+    anchors: list[Any] = _anchors if _anchors is not None else []
+    intern_table: dict[Any, Any] = {}
     # A single contextvar read up front: per-config work stays free when
     # tracing is off (the span below is emitted once, at the end).
     tr = _obs.current()
     started = time.perf_counter() if tr is not None else 0.0
     env_spent = 0
+    result.frontier_peak = len(stack)
     try:
         while stack:
             current, env_used = stack.pop()
             if dedupe:
                 try:
-                    pos = current.position_key()
+                    pos = (
+                        canonical_position_key(current)
+                        if symmetry
+                        else current.position_key()
+                    )
                 except Exception:  # noqa: BLE001 - unfingerprintable: fall back
                     pos = None
                     result.unfingerprinted += 1
                 if pos is not None:
+                    if compact:
+                        pos = _intern(pos, intern_table)
                     visits = seen.setdefault(pos, [])
                     if liveness and visits and current.trace is not None:
                         # Observe (never prune): a revisit whose trace
@@ -235,7 +434,11 @@ def explore(
                         ):
                             result.deduped += 1
                             continue
-                    visits.append((env_used, current.steps, current))
+                    if liveness or not compact:
+                        visits.append((env_used, current.steps, current))
+                    else:
+                        visits.append((env_used, current.steps, None))
+                        anchors.append(tuple(current.threads.values()))
             if result.explored >= max_configs:
                 # Checked *before* counting: the bound means "expand at most
                 # max_configs configurations", not max_configs + 1.
@@ -244,8 +447,6 @@ def explore(
                 )
                 return result
             result.explored += 1
-            if result.explored % 256 == 0:
-                result.frontier_peak = max(result.frontier_peak, len(stack))
             if current.done:
                 result.terminals.append(current)
                 if on_terminal is not None:
@@ -293,6 +494,14 @@ def explore(
                     result.violations.append(
                         Violation(type(exc).__name__, str(exc), current.trace)
                     )
+            if len(stack) > result.frontier_peak:
+                result.frontier_peak = len(stack)
+            if _frontier_limit is not None and len(stack) >= _frontier_limit:
+                # Wide enough to shard: park the unexpanded frontier.  Every
+                # memoized position has already been expanded here, so the
+                # pending entries jointly cover everything below them.
+                result.pending = stack
+                return result
         return result
     finally:
         if tr is not None:
@@ -306,13 +515,14 @@ def explore(
                 deduped=result.deduped,
                 unfingerprinted=result.unfingerprinted,
                 truncated=result.truncated,
-                terminals=len(result.terminals),
+                terminals=result.terminal_total,
                 violations=len(result.violations),
                 frontier_peak=result.frontier_peak,
                 env_budget=env_budget,
                 env_spent=env_spent,
                 por_active=result.por_active,
                 por_pruned=result.por_pruned,
+                symmetry=result.symmetry_active,
                 cycles=len(result.cycles),
             )
 
@@ -326,7 +536,7 @@ LIVELOCK_CYCLE_CAP = 8
 
 def _record_lasso(
     result: ExplorationResult,
-    visits: list[tuple[int, int, Config]],
+    visits: list[tuple[int, int, Config | None]],
     current: Config,
 ) -> None:
     """Record a livelock lasso at a revisited position key.
@@ -344,7 +554,7 @@ def _record_lasso(
         return
     events = current.trace.events
     for __, __, earlier in visits:
-        if earlier.trace is None:
+        if earlier is None or earlier.trace is None:
             continue
         prior = earlier.trace.events
         if not len(prior) < len(events) or events[: len(prior)] != prior:

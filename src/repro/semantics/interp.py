@@ -106,6 +106,27 @@ def fingerprint(obj: Any, _seen: frozenset = frozenset()) -> Hashable:
         return ("id", id(obj))
 
 
+def _sort_key(fp: Hashable) -> tuple:
+    """A *type-tagged* total order over fingerprints.
+
+    Sets and dicts are fingerprinted in sorted element order; sorting by
+    ``repr()`` of the nested fingerprints (the historical keying) is
+    unsound twice over: distinct fingerprints can share a ``repr`` (so
+    the resulting order — and hence the fingerprint — depends on
+    insertion order or on comparing unorderable tie-breakers), and a
+    heterogeneous tie-breaker comparison raises ``TypeError`` outright
+    (two same-class default-``repr`` dict keys with an ``int`` and a
+    ``tuple`` value).  Tagging every leaf with its type name and
+    recursing structurally through tuples yields a deterministic total
+    order in which distinct leaf fingerprints never compare equal:
+    leaves are primitives (or type-qualified reprs), where ``(type name,
+    repr)`` is faithful.
+    """
+    if isinstance(fp, tuple):
+        return ("tuple", tuple(_sort_key(x) for x in fp))
+    return (type(fp).__name__, repr(fp))
+
+
 def stable_fingerprint(obj: Any, _seen: frozenset = frozenset()) -> Hashable:
     """A *process-stable* structural fingerprint.
 
@@ -138,15 +159,22 @@ def stable_fingerprint(obj: Any, _seen: frozenset = frozenset()) -> Hashable:
     if isinstance(obj, (set, frozenset)):
         return (
             "set",
-            tuple(sorted(repr(stable_fingerprint(x, _seen)) for x in obj)),
+            tuple(
+                sorted(
+                    (stable_fingerprint(x, _seen) for x in obj), key=_sort_key
+                )
+            ),
         )
     if isinstance(obj, dict):
         return (
             "dict",
             tuple(
                 sorted(
-                    (repr(stable_fingerprint(k, _seen)), stable_fingerprint(v, _seen))
-                    for k, v in obj.items()
+                    (
+                        (stable_fingerprint(k, _seen), stable_fingerprint(v, _seen))
+                        for k, v in obj.items()
+                    ),
+                    key=lambda kv: (_sort_key(kv[0]), _sort_key(kv[1])),
                 )
             ),
         )

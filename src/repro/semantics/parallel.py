@@ -1,0 +1,331 @@
+"""Frontier-sharded parallel exploration.
+
+Engine parallelism stops at one-worker-per-program, so the biggest case
+studies serialize on one core.  This module makes a *single* program's
+schedule search scale: a serial prefix widens the DFS frontier until it
+holds enough independent subtrees, the frontier is sharded across a
+supervised worker pool (the engine's fault-tolerance machinery from
+:mod:`repro.engine.supervisor`, reused verbatim — it is duck-typed over
+``.name``), and the parent merges each shard's picklable digest.
+
+Three process-boundary facts shape the design:
+
+* **Configurations do not pickle.**  Thread programs hold closures, so
+  shard roots and the prefix memo cross into workers by *fork
+  inheritance*: a module-global context is set before the pool is
+  created, exactly like the supervisor's announcement queue.  Each
+  worker gets a private copy-on-write copy of the prefix ``seen`` memo,
+  so work already expanded in the prefix is never re-expanded in any
+  shard.  Platforms without fork (and daemonic workers, which cannot
+  spawn a nested pool) fall back to the serial explorer.
+* **Terminal configurations stay remote.**  Workers ship canonical
+  :func:`~repro.semantics.explore.terminal_signature_of` signatures —
+  ``stable_fingerprint``-based, id-free, repr-rendered — and the merge
+  dedupes terminals across shards on those signatures.  Violations ship
+  as ``(kind, message, trace)`` with the trace dropped if it fails a
+  pickling probe (event payloads are plain values for every registry
+  program, so in practice traces survive).
+* **Lost shards must not pass silently.**  A shard that exhausts its
+  retries (crash, timeout) contributes a kind-``infra`` violation to the
+  merged result: an incomplete search must fail the verdict loudly
+  rather than report ``ok`` on partial coverage.
+
+Soundness of the split: the prefix stops *after* expanding a
+configuration (never between memoizing and expanding), so every memo
+entry's successors are either already expanded or parked in the pending
+frontier that the shards jointly own.  Dedupe across shards is merely
+weaker than serial dedupe (two shards may both visit a state the other
+saw), which can only re-explore states, never skip them — counters may
+exceed the serial run's, verdict and terminal signatures may not differ.
+tests/test_explore_equiv.py gates exactly that per registry program.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from typing import Any, Callable
+
+from ..obs import tracer as _obs
+from .explore import (
+    LIVELOCK_CYCLE_CAP,
+    ExplorationResult,
+    Violation,
+    explore,
+    symmetric_terminal_signature_of,
+    terminal_signature_of,
+)
+from .interp import Config
+
+#: Target pending-frontier entries per worker when the serial prefix
+#: stops.  More shards than workers gives the supervisor's windowed
+#: submission room to balance uneven subtrees.
+SHARD_FACTOR = 4
+
+#: Fork-inherited shard context (set in the parent before the pool is
+#: created, read by workers; see module docstring).
+_SHARD_CTX: dict[str, Any] | None = None
+
+
+class _ShardInfo:
+    """Duck-typed task descriptor: supervision only needs a ``name``."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, index: int):
+        self.name = f"shard-{index}"
+        self.index = index
+
+
+def _portable_violations(violations: list[Violation]) -> list[tuple]:
+    """Violations as picklable triples, probing each trace individually."""
+    out = []
+    for violation in violations:
+        trace = violation.trace
+        if trace is not None:
+            try:
+                pickle.dumps(trace)
+            except Exception:  # noqa: BLE001 - unpicklable payload: drop trace
+                trace = None
+        out.append((violation.kind, violation.message, trace))
+    return out
+
+
+def _run_shard(info: _ShardInfo, attempt: int = 1) -> dict[str, Any]:
+    """Worker-side: explore one shard's roots and return a picklable digest.
+
+    Runs in a pool worker under fork (``_SHARD_CTX`` inherited), in-process
+    when the supervisor degrades to serial, and identically on a retry —
+    exploration is deterministic, so a retried shard reproduces the same
+    digest in a fresh worker.
+    """
+    from ..engine.supervisor import announce
+
+    announce(info.name)
+    ctx = _SHARD_CTX
+    if ctx is None:  # pragma: no cover - spawn-started worker: no context
+        raise RuntimeError("shard context unavailable (no fork inheritance)")
+    roots = ctx["shards"][info.index]
+    if ctx["serial"]:
+        # In-process shard: the parent's memo must stay pristine between
+        # shards, exactly as fork copy-on-write isolates pool workers.
+        seen = {key: list(visits) for key, visits in ctx["seen"].items()}
+        anchors = list(ctx["anchors"])
+    else:
+        seen = ctx["seen"]  # this worker's private COW copy
+        anchors = ctx["anchors"]
+    result = explore(
+        roots[0][0],
+        _roots=list(roots),
+        _seen=seen,
+        _anchors=anchors,
+        **ctx["kwargs"],
+    )
+    return {
+        "status": "report",
+        "explored": result.explored,
+        "truncated": result.truncated,
+        "unfingerprinted": result.unfingerprinted,
+        "por_pruned": result.por_pruned,
+        "por_active": result.por_active,
+        "deduped": result.deduped,
+        "frontier_peak": result.frontier_peak,
+        "terminal_count": len(result.terminals),
+        "terminal_sigs": [terminal_signature_of(c) for c in result.terminals],
+        "sym_terminal_sigs": [
+            symmetric_terminal_signature_of(c) for c in result.terminals
+        ],
+        "violations": _portable_violations(result.violations),
+        "cycles": _portable_violations(result.cycles),
+    }
+
+
+def _can_fork() -> bool:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    # Pool workers are daemonic and may not have children: a parallel
+    # exploration requested *inside* an engine worker runs serially.
+    return not multiprocessing.current_process().daemon
+
+
+def explore_parallel(
+    config: Config,
+    *,
+    parallel: int,
+    max_steps: int,
+    env_budget: int,
+    max_configs: int,
+    on_terminal: Callable[[Config], str | None] | None,
+    dedupe: bool,
+    domination: bool,
+    por: Any,
+    liveness: bool,
+    symmetry: bool,
+    compact: bool,
+) -> ExplorationResult:
+    """Explore ``config``'s schedule space across ``parallel`` workers.
+
+    Called via ``explore(parallel=N)``; see :func:`repro.semantics.explore.explore`
+    for parameter semantics and the module docstring for the design.
+    """
+    serial_kwargs: dict[str, Any] = dict(
+        max_steps=max_steps,
+        env_budget=env_budget,
+        max_configs=max_configs,
+        on_terminal=on_terminal,
+        dedupe=dedupe,
+        domination=domination,
+        por=por,
+        liveness=liveness,
+        symmetry=symmetry,
+        compact=compact,
+    )
+    if parallel <= 1 or not _can_fork():
+        return explore(config, **serial_kwargs)
+
+    # Resolve the POR oracle once in the parent: the prefix and every
+    # fork-inherited worker share it instead of re-analyzing per shard.
+    oracle: Any = por if por not in (None, False, True) else None
+    if por is True:
+        from ..analysis.interference import analyze_config
+
+        try:
+            oracle = analyze_config(config)
+        except Exception:  # noqa: BLE001 - oracle build is best-effort
+            oracle = None
+    serial_kwargs["por"] = oracle
+
+    tr = _obs.current()
+    started = time.perf_counter() if tr is not None else 0.0
+
+    seen: dict = {}
+    anchors: list = []
+    prefix = explore(
+        config,
+        **serial_kwargs,
+        _seen=seen,
+        _anchors=anchors,
+        _frontier_limit=max(2, parallel * SHARD_FACTOR),
+    )
+    if not prefix.pending:
+        # The whole search fit in the prefix (or died on a resource
+        # bound): nothing to shard, the serial result stands.
+        return prefix
+
+    pending, prefix.pending = prefix.pending, []
+    # One root per shard task: fine-grained tasks let the supervisor's
+    # jobs-windowed submission balance wildly uneven subtrees.
+    shards = [[entry] for entry in pending]
+    infos = [_ShardInfo(i) for i in range(len(shards))]
+    worker_kwargs = dict(serial_kwargs)
+    worker_kwargs["max_configs"] = max(1, max_configs - prefix.explored)
+
+    from ..engine.supervisor import SupervisorConfig, supervise
+
+    global _SHARD_CTX
+    _SHARD_CTX = {
+        "shards": shards,
+        "kwargs": worker_kwargs,
+        "seen": seen,
+        "anchors": anchors,
+        "serial": False,
+    }
+    try:
+        outcome = supervise(
+            infos,
+            worker=_run_shard,
+            config=SupervisorConfig(jobs=min(parallel, len(shards)), retries=1),
+            serial_worker=_serial_shard,
+        )
+    finally:
+        _SHARD_CTX = None
+
+    merged = ExplorationResult()
+    merged.shards = len(shards)
+    merged.por_active = prefix.por_active
+    merged.symmetry_active = prefix.symmetry_active
+    merged.explored = prefix.explored
+    merged.truncated = prefix.truncated
+    merged.unfingerprinted = prefix.unfingerprinted
+    merged.por_pruned = prefix.por_pruned
+    merged.deduped = prefix.deduped
+    merged.frontier_peak = max(prefix.frontier_peak, len(pending))
+    merged.terminals = list(prefix.terminals)
+    merged.violations = list(prefix.violations)
+    merged.cycles = list(prefix.cycles)
+
+    sigs: set[tuple[str, str]] = set()
+    sym_sigs: set[tuple[str, str]] = set()
+    seen_violations = {(v.kind, v.message) for v in merged.violations}
+    lost: list[tuple[str, str]] = []
+    for info in infos:
+        task = outcome.results.get(info.name)
+        if task is None or task.status != "report" or not task.payload:
+            status = task.status if task is not None else "missing"
+            lost.append((info.name, status))
+            continue
+        payload = task.payload
+        merged.explored += payload["explored"]
+        merged.truncated += payload["truncated"]
+        merged.unfingerprinted += payload["unfingerprinted"]
+        merged.por_pruned += payload["por_pruned"]
+        merged.por_active = merged.por_active or payload["por_active"]
+        merged.deduped += payload["deduped"]
+        merged.frontier_peak = max(merged.frontier_peak, payload["frontier_peak"])
+        merged.remote_terminals += payload["terminal_count"]
+        sigs.update(tuple(sig) for sig in payload["terminal_sigs"])
+        sym_sigs.update(tuple(sig) for sig in payload["sym_terminal_sigs"])
+        for kind, message, trace in payload["violations"]:
+            # The same violation reached from two shards (a shared
+            # postcondition failure, the per-shard resource bound) is one
+            # finding, not two.
+            if (kind, message) in seen_violations:
+                continue
+            seen_violations.add((kind, message))
+            merged.violations.append(Violation(kind, message, trace))
+        for kind, message, trace in payload["cycles"]:
+            if len(merged.cycles) < LIVELOCK_CYCLE_CAP:
+                merged.cycles.append(Violation(kind, message, trace))
+    merged.terminal_sigs = frozenset(sigs)
+    merged.sym_terminal_sigs = frozenset(sym_sigs)
+    for name, status in lost:
+        merged.violations.append(
+            Violation(
+                "infra",
+                f"exploration {name} lost ({status}): "
+                "the schedule search is incomplete",
+            )
+        )
+    if tr is not None:
+        now = time.perf_counter()
+        tr.span(
+            "explore:parallel",
+            "explore",
+            started * 1e6,
+            now * 1e6,
+            shards=merged.shards,
+            jobs=parallel,
+            prefix_explored=prefix.explored,
+            explored=merged.explored,
+            terminals=merged.terminal_total,
+            violations=len(merged.violations),
+            lost=len(lost),
+            degraded=outcome.degraded,
+        )
+    return merged
+
+
+def _serial_shard(info: _ShardInfo, attempt: int = 1) -> dict[str, Any]:
+    """In-process fallback when the pool cannot be built: identical digest,
+    but the memo must be copied so sequential shards stay independent of
+    each other exactly like fork-isolated ones are."""
+    global _SHARD_CTX
+    ctx = _SHARD_CTX
+    if ctx is None:  # pragma: no cover - cleared context mid-degradation
+        raise RuntimeError("shard context unavailable")
+    _SHARD_CTX = dict(ctx, serial=True)
+    try:
+        return _run_shard(info, attempt)
+    finally:
+        _SHARD_CTX = ctx

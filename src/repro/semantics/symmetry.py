@@ -1,0 +1,114 @@
+"""Thread-identity symmetry reduction: canonical position keys.
+
+Forked threads are interchangeable up to renaming: the interleaving
+semantics never reads a thread id except to address a thread, PCM joins
+over sibling contributions are commutative, and the scheduler quantifies
+over every order anyway.  Two configurations that are images of one
+another under a permutation of sibling subtrees of a ``par`` therefore
+have the same future behaviour *modulo that permutation* — the standard
+scalarset/symmetry argument of explicit-state model checking, applied to
+the fork tree instead of a process array.
+
+:func:`canonical_position_key` quotients the explorer's memo by exactly
+those permutations: the thread soup is rebuilt as a *tree* (children
+hang off their ``par`` parent), each subtree is keyed structurally
+without its tid, and sibling subtrees are put in a canonical order.  The
+``rp || rp`` pair-snapshot client is literally symmetric, so half of its
+interleaving diamond collapses.
+
+What a permutation cannot erase is *post-join data flow*: ``par``
+returns ``(left result, right result)``, so a configuration merged with
+its mirror image keeps only one of the two mirrored result pairs — and
+anything the parent's continuation computes from the pair (the spanning
+tree writes its left or right edge slot depending on which child won the
+marking race) keeps only one representative per orbit.  This is the
+standard quotient semantics of symmetry reduction: verdicts are
+preserved exactly when the spec is invariant under the orbit map, which
+holds for every registry spec because identical sibling threads are
+interchangeable in all of them.  The reduction is therefore gated
+(default off), and tests/test_explore_equiv.py enforces, per registry
+program: verdict equality, violation-kind equality, exact
+terminal-signature containment (a reduced run never invents terminals),
+and — on every program except the spanning tree, whose orbit acts on
+heap edge slots — terminal-set equality modulo permutation of result
+pairs.
+
+Keys embed :func:`~repro.semantics.interp.fingerprint` components (which
+may fall back to ``id``), so the caller must keep the fingerprinted
+threads alive while a key is memoized — the explorer's anchor list does.
+"""
+
+from __future__ import annotations
+
+from .interp import Config, _sort_key, fingerprint
+
+#: Placeholder for a child whose result has not been delivered yet.
+_PENDING = ("sym-pending",)
+
+
+def canonical_position_key(config: Config) -> tuple:
+    """A position key invariant under permutations of sibling subtrees.
+
+    Structure: shared state (joints + environment contributions, which
+    no thread permutation touches) plus the recursive canonical key of
+    the root thread's subtree.  A thread's key records its program
+    position, continuations, contributions, visibility and result —
+    everything :meth:`Config.position_key` records per thread — but
+    children appear as a canonically *sorted* tuple of their subtree
+    keys (paired with the result the parent holds for them) instead of
+    under their tids.  Tids, parent links and ``next_tid`` never enter
+    the key, so permuted configurations collide — which is the point.
+
+    Raises if a thread is unreachable from the root (a broken soup);
+    the explorer treats that like any fingerprinting failure and falls
+    back to tree search for that configuration.
+    """
+    threads = config.threads
+    reached = 0
+
+    def canon(tid: int) -> tuple:
+        nonlocal reached
+        reached += 1
+        th = threads[tid]
+        if th.children is None:
+            kid_part: tuple | None = None
+        else:
+            subkeys = []
+            for kid in th.children:
+                delivered = kid in th.results
+                result_fp = (
+                    fingerprint(th.results[kid]) if delivered else _PENDING
+                )
+                if kid in threads:
+                    subkeys.append(("live", canon(kid), result_fp))
+                else:
+                    # Joined children are popped in pairs; a lone missing
+                    # child can only be a soup corruption — surface it.
+                    raise ValueError(
+                        f"thread {tid} lists child {kid} that is neither "
+                        "alive nor joined"
+                    )
+            subkeys.sort(key=_sort_key)
+            kid_part = tuple(subkeys)
+        return (
+            "T",
+            fingerprint(th.current),
+            tuple(fingerprint(k) for k in th.konts),
+            tuple(sorted(th.selfs.items())),
+            tuple(sorted(th.visible)),
+            th.done,
+            fingerprint(th.result),
+            kid_part,
+        )
+
+    key = (
+        "sym",
+        tuple(sorted(config.joints.items())),
+        tuple(sorted(config.env_selfs.items())),
+        canon(0),
+    )
+    if reached != len(threads):
+        raise ValueError(
+            f"{len(threads) - reached} thread(s) unreachable from the root"
+        )
+    return key

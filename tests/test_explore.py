@@ -144,6 +144,105 @@ class TestExhaustive:
         assert [t.result for t in result.terminals] == [(0, 0)]
 
 
+class TestFrontierPeak:
+    def test_frontier_peak_tracked_on_small_explorations(self, world, conc):
+        # Regression: the peak was sampled every 256 expansions, so every
+        # small exploration reported 0.  It is now tracked on each push.
+        prog = par(act(BumpAction(conc)), act(BumpAction(conc)))
+        result = explore(initial_config(world, counter_state(conc), prog))
+        assert result.frontier_peak >= 2  # both threads runnable at the root
+
+    def test_single_thread_still_nonzero(self, world, conc):
+        result = explore(
+            initial_config(world, counter_state(conc), act(BumpAction(conc)))
+        )
+        assert result.frontier_peak > 0
+
+
+class TestCompaction:
+    def _prog(self, conc):
+        return par(act(BumpAction(conc)), act(ReadCounterAction(conc)))
+
+    def _run(self, world, conc, **kwargs):
+        seen, anchors = {}, []
+        result = explore(
+            initial_config(world, counter_state(conc), self._prog(conc)),
+            _seen=seen,
+            _anchors=anchors,
+            **kwargs,
+        )
+        return result, seen, anchors
+
+    def test_compact_memo_stores_no_configs(self, world, conc):
+        # Regression: the memo used to pin every visited Config (and its
+        # trace).  Compact visits keep only (env_used, steps, None) and
+        # anchor the thread records so fingerprint ids stay valid.
+        result, seen, anchors = self._run(world, conc)
+        assert result.ok
+        assert seen and anchors
+        assert all(cfg is None for visits in seen.values() for __, __, cfg in visits)
+
+    def test_liveness_keeps_configs_for_lassos(self, world, conc):
+        # The lasso detector compares trace prefixes at revisits, so
+        # liveness mode must still store the visited configurations.
+        __, seen, __ = self._run(world, conc, liveness=True)
+        stored = [cfg for visits in seen.values() for __, __, cfg in visits]
+        assert stored and all(cfg is not None for cfg in stored)
+
+    def test_compact_off_restores_pinning(self, world, conc):
+        __, seen, __ = self._run(world, conc, compact=False)
+        stored = [cfg for visits in seen.values() for __, __, cfg in visits]
+        assert stored and all(cfg is not None for cfg in stored)
+
+    def test_compact_equivalent_to_uncompacted(self, world, conc):
+        compacted, __, __ = self._run(world, conc)
+        pinned, __, __ = self._run(world, conc, compact=False)
+        assert compacted.explored == pinned.explored
+        assert {repr(t.result) for t in compacted.terminals} == {
+            repr(t.result) for t in pinned.terminals
+        }
+
+    def test_interning_shares_key_sections(self):
+        from repro.semantics.explore import _intern
+
+        table: dict = {}
+        one = _intern((("a", (1, 2)), ("b", (3,))), table)
+        two = _intern((("a", (1, 2)), ("c", (4,))), table)
+        assert one[0] is two[0]  # the shared section is one object
+
+
+class TestSymmetry:
+    def test_mirror_configurations_merge(self, world, conc):
+        # Two threads running the *same* program (one shared action — the
+        # semantics compares actions by identity) are interchangeable, so
+        # the canonical memo merges each configuration with its mirror.
+        action = BumpAction(conc)
+        prog = par(act(action), act(action))
+        base = explore(initial_config(world, counter_state(conc), prog))
+        reduced = explore(
+            initial_config(world, counter_state(conc), prog), symmetry=True
+        )
+        assert reduced.symmetry_active
+        assert reduced.explored < base.explored
+        assert not reduced.violations
+        assert {t.joints[conc.label][CELL] for t in reduced.terminals} == {
+            t.joints[conc.label][CELL] for t in base.terminals
+        }
+
+    def test_asymmetric_threads_unaffected(self, world, conc):
+        # Distinct sibling programs never collide under canonicalization:
+        # the key sorts subtrees but keeps their full per-thread records.
+        prog = par(act(BumpAction(conc)), act(ReadCounterAction(conc)))
+        base = explore(initial_config(world, counter_state(conc), prog))
+        reduced = explore(
+            initial_config(world, counter_state(conc), prog), symmetry=True
+        )
+        assert reduced.explored == base.explored
+        assert {repr(t.result) for t in reduced.terminals} == {
+            repr(t.result) for t in base.terminals
+        }
+
+
 class TestDominationOnCaseStudy:
     """The dedupe fix must pay off on real registry machinery."""
 

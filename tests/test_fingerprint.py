@@ -5,7 +5,7 @@ import pytest
 from repro.core import World
 from repro.core.prog import Call, act, bind, ffix, par, ret, seq
 from repro.semantics import explore, initial_config
-from repro.semantics.interp import fingerprint
+from repro.semantics.interp import _sort_key, fingerprint, stable_fingerprint
 
 from .helpers import BumpAction, CounterConcurroid, ReadCounterAction, counter_state
 
@@ -81,6 +81,46 @@ class TestFingerprint:
         fp2 = fingerprint(box)
         assert fp1 == fp2
         assert fp1[0] == "id"
+
+
+class _Opaque:
+    """Default-``repr`` instance: its stable fingerprint reduces the
+    address-bearing repr to the class name, so two instances collide —
+    which is exactly what the ordering below must survive."""
+
+
+class TestStableFingerprint:
+    def test_dict_with_colliding_key_reprs_and_mixed_values(self):
+        # Regression: set/dict elements used to be ordered by ``repr()``
+        # of their fingerprints, tie-breaking on raw value comparison —
+        # two same-class default-repr keys holding an int and a tuple
+        # crashed with TypeError.  The type-tagged sort total-orders them.
+        fp = stable_fingerprint({_Opaque(): 1, _Opaque(): ("x",)})
+        assert fp[0] == "dict"
+
+    def test_insertion_order_irrelevant(self):
+        fp_one = stable_fingerprint({1: "a", "1": "b", (2,): "c"})
+        fp_two = stable_fingerprint({(2,): "c", "1": "b", 1: "a"})
+        assert fp_one == fp_two
+        assert stable_fingerprint({1, "x", (2,)}) == stable_fingerprint(
+            {(2,), "x", 1}
+        )
+
+    def test_set_elements_stay_structural(self):
+        # Regression: the sorted element fingerprints themselves (not
+        # their ``repr`` strings) must land in the set fingerprint, so no
+        # two distinct fingerprints can be conflated by a shared repr.
+        assert stable_fingerprint(frozenset({(1,)})) == (
+            "set",
+            (("tuple", (1,)),),
+        )
+
+    def test_sort_key_discriminates_types(self):
+        # ``1`` and ``"1"`` (and heterogeneous leaves generally) must
+        # order deterministically without ever comparing raw values.
+        assert _sort_key(1) != _sort_key("1")
+        ordered = sorted([("x",), 1, "1", None], key=_sort_key)
+        assert sorted(ordered, key=_sort_key) == ordered
 
 
 class TestDedupeSoundness:
