@@ -6,11 +6,15 @@ entry points.
   through the parallel cached engine.
 * ``python -m repro verify`` — the registry verification sweep alone:
   supervised parallel workers (``--jobs``, ``--timeout``, ``--retries``),
-  persistent obligation cache (``--no-cache`` to disable), deterministic
-  fault injection (``--inject``, see docs/ROBUSTNESS.md), text or JSON
-  output.  Exits 0 (all verified), 1 (a verdict failed), 2 (unknown
-  program), or 3 (infrastructure fault: a program was quarantined, the
-  sweep was interrupted, or the pool degraded to serial).
+  persistent self-healing obligation cache (``--no-cache`` to disable),
+  deterministic fault injection (``--inject``, see docs/ROBUSTNESS.md),
+  a durable sweep journal with crash recovery (``--resume``,
+  ``--no-journal``), per-obligation-group work units
+  (``--split-obligations``), soft resource budgets (``--max-rss``,
+  ``--max-disk``), text or JSON output.  Exits 0 (all verified), 1 (a
+  verdict failed), 2 (unknown program), or 3 (infrastructure fault: a
+  program was quarantined, the sweep was interrupted or checkpointed,
+  or the pool degraded to serial).
 * ``python -m repro lint`` — static analysis only: lint the registry's
   case studies.
 * ``python -m repro race`` — the interference/race rules alone
@@ -153,6 +157,11 @@ def _run_verify(args: argparse.Namespace) -> int:
                 timeout=args.timeout,
                 retries=args.retries,
                 faults=plan,
+                journal=not args.no_journal,
+                resume=args.resume,
+                split_obligations=args.split_obligations,
+                max_rss_mb=args.max_rss,
+                max_disk_mb=args.max_disk,
             )
     except KeyError as exc:
         print(f"repro-verify: {exc.args[0]}", file=sys.stderr)
@@ -430,8 +439,8 @@ def main(argv: list[str] | None = None) -> int:
         action="append",
         metavar="SPEC",
         help="chaos harness: inject a deterministic fault, e.g. "
-        "'CAS-lock:crash@1' (kinds: crash, hang, raise, torn; repeatable, "
-        "also via $REPRO_FAULTS)",
+        "'CAS-lock:crash@1' (kinds: crash, hang, raise, torn, corrupt, "
+        "diskfull, sigkill; repeatable, also via $REPRO_FAULTS)",
     )
     verify.add_argument(
         "--trace",
@@ -447,6 +456,43 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="dump every captured counterexample witness as JSON under DIR "
         "(one file per failing program, plus index.json)",
+    )
+    verify.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed work units from the durable sweep journal "
+        "(written under the cache dir) and re-execute only what was "
+        "pending or in-flight when the previous sweep died",
+    )
+    verify.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="skip the durable sweep journal (the sweep is then not "
+        "resumable after a crash)",
+    )
+    verify.add_argument(
+        "--split-obligations",
+        action="store_true",
+        help="decompose each program into per-obligation-category work "
+        "units: timeouts, retries, quarantine and journal replay then "
+        "apply per (program, group) instead of per program",
+    )
+    verify.add_argument(
+        "--max-rss",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="soft resident-memory budget for the sweep process tree; "
+        "70%% sheds parallelism, 85%% shrinks explorer caps (sweep "
+        "degraded), 100%% checkpoints and exits 3 (resumable)",
+    )
+    verify.add_argument(
+        "--max-disk",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="soft disk budget for the cache directory (entries + journal "
+        "+ quarantine); same degradation ladder as --max-rss",
     )
     _add_engine_options(verify)
 

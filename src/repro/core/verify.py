@@ -175,6 +175,79 @@ def explore_jobs_default() -> int:
         return 1
 
 
+# -- the obligation-group filter ----------------------------------------------------------
+#
+# The durable work queue (repro.engine.queue) decomposes a program's
+# verification into (program, obligation-group) units: each unit re-runs
+# the verifier with the filter restricted to one category group, so
+# ReportBuilder records (and *executes*) only that group's obligations.
+# The partial reports are merged back by the engine; equality with the
+# monolithic run is gated by tests.  Process-global like the pre-pass
+# hook: a unit worker installs the filter around one run_verifier call
+# and always restores it.
+
+_OBLIGATION_FILTER_ENV = "REPRO_OBLIGATION_GROUPS"
+_OBLIGATION_FILTER: frozenset | None = None
+
+
+def set_obligation_filter(categories) -> None:
+    """Restrict ReportBuilder to ``categories`` (``None`` clears).
+
+    Obligations outside the filter are neither executed nor recorded —
+    the basis of per-obligation-group work units.
+    """
+    global _OBLIGATION_FILTER
+    if categories is None:
+        _OBLIGATION_FILTER = None
+        os.environ.pop(_OBLIGATION_FILTER_ENV, None)
+    else:
+        _OBLIGATION_FILTER = frozenset(categories)
+        os.environ[_OBLIGATION_FILTER_ENV] = ",".join(sorted(_OBLIGATION_FILTER))
+
+
+def obligation_filter() -> frozenset | None:
+    """The active category filter (module global, else the env mirror)."""
+    if _OBLIGATION_FILTER is not None:
+        return _OBLIGATION_FILTER
+    text = os.environ.get(_OBLIGATION_FILTER_ENV, "").strip()
+    if not text:
+        return None
+    return frozenset(part for part in text.split(",") if part)
+
+
+# -- the explorer cap scale ---------------------------------------------------------------
+#
+# The resource watchdog (repro.engine.watchdog) shrinks exploration as
+# the second rung of its degradation ladder: a scale < 1 multiplies the
+# ``max_configs`` budget of every check_triple in the process.  Shrunk
+# caps can surface resource violations a full run would not, so the
+# engine marks any sweep that reached this rung as degraded (exit 3) —
+# the scale trades completeness for staying alive, never silently.
+
+_EXPLORE_CAP_ENV = "REPRO_EXPLORE_CAP_SCALE"
+_EXPLORE_CAP_SCALE: float | None = None
+
+
+def set_explore_cap_scale(scale: float | None) -> None:
+    """Set (or with ``None`` clear) the process-wide exploration-cap scale."""
+    global _EXPLORE_CAP_SCALE
+    _EXPLORE_CAP_SCALE = scale
+    if scale is None:
+        os.environ.pop(_EXPLORE_CAP_ENV, None)
+    else:
+        os.environ[_EXPLORE_CAP_ENV] = repr(float(scale))
+
+
+def explore_cap_scale() -> float:
+    """The current cap scale (module global, else REPRO_EXPLORE_CAP_SCALE)."""
+    if _EXPLORE_CAP_SCALE is not None:
+        return _EXPLORE_CAP_SCALE
+    try:
+        return float(os.environ.get(_EXPLORE_CAP_ENV, "1.0"))
+    except ValueError:
+        return 1.0
+
+
 # Skip attribution is scoped, not global: each in-flight obligation pushes
 # a frame, and a dynamic checker that skips work on the pre-pass's word
 # reports it to the *innermost* frame via record_prepass_skip.  Counting
@@ -389,6 +462,12 @@ class ReportBuilder:
     ) -> ObligationResult:
         if category not in CATEGORIES:
             raise ValueError(f"unknown obligation category {category!r}")
+        selected = obligation_filter()
+        if selected is not None and category not in selected:
+            # Out-of-group obligation under a work-unit filter: neither
+            # executed nor recorded — another unit owns it.  The dummy
+            # result is returned (not appended) for signature parity.
+            return ObligationResult(name, category, True, [], 0.0)
         scope: list[str] = []
         stack = _skip_stack()
         stack.append(scope)
@@ -491,6 +570,12 @@ def check_triple(
     use_liveness = liveness_default() if liveness is None else liveness
     use_symmetry = symmetry_default() if symmetry is None else symmetry
     use_parallel = explore_jobs_default() if parallel is None else parallel
+    cap_scale = explore_cap_scale()
+    if cap_scale < 1.0:
+        # Watchdog degradation rung 2: shrink the state budget rather
+        # than let the kernel OOM-killer end the sweep.  The floor keeps
+        # tiny scenarios checkable; the engine flags the sweep degraded.
+        max_configs = max(100, int(max_configs * cap_scale))
 
     def oracle_for(scenario: Scenario):
         if not use_por:

@@ -8,11 +8,24 @@ replayed from a persistent on-disk obligation cache keyed by content
 fingerprint.  See :mod:`repro.engine.engine` for the orchestration,
 :mod:`repro.engine.supervisor` for timeouts/retries/worker isolation,
 :mod:`repro.engine.faults` for the deterministic fault-injection
-(chaos) layer, :mod:`repro.engine.cache` for the cache layout and
-:mod:`repro.engine.fingerprint` for the invalidation rules.
+(chaos) layer, :mod:`repro.engine.cache` for the self-healing cache
+layout and :mod:`repro.engine.fingerprint` for the invalidation rules.
+
+Durability (``--resume`` after a hard crash) is provided by
+:mod:`repro.engine.journal` (the fsync'd sweep journal),
+:mod:`repro.engine.queue` (the (program, obligation-group) work-unit
+decomposition) and :mod:`repro.engine.watchdog` (soft resource budgets
+with graceful degradation).
 """
 
-from .cache import DEFAULT_CACHE_DIR, ENV_CACHE_DIR, ObligationCache, default_cache_dir
+from .cache import (
+    CORRUPT_DIRNAME,
+    DEFAULT_CACHE_DIR,
+    ENV_CACHE_DIR,
+    ObligationCache,
+    default_cache_dir,
+    report_checksum,
+)
 from .engine import (
     EXIT_INFRA,
     ProgramOutcome,
@@ -35,6 +48,25 @@ from .fingerprint import (
     module_source,
     program_fingerprint,
 )
+from .journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalImage,
+    SweepJournal,
+    iter_events,
+    journal_path,
+    load_image,
+    read_journal,
+)
+from .queue import (
+    UNIT_SEP,
+    ProgramMerge,
+    UnitRecord,
+    WorkUnit,
+    decompose,
+    merge_program,
+    unit_mode,
+    units_for,
+)
 from .supervisor import (
     INFRA_STATUSES,
     SupervisionOutcome,
@@ -43,9 +75,19 @@ from .supervisor import (
     TaskResult,
     supervise,
 )
+from .watchdog import (
+    LEVEL_NAMES,
+    SHED_AT,
+    SHRINK_AT,
+    STOP_AT,
+    ResourceWatchdog,
+    dir_bytes,
+    tree_rss_bytes,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CORRUPT_DIRNAME",
     "DEFAULT_CACHE_DIR",
     "ENV_CACHE_DIR",
     "ENV_FAULTS",
@@ -55,20 +97,43 @@ __all__ = [
     "FaultSpecError",
     "INFRA_STATUSES",
     "InjectedFault",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalImage",
+    "LEVEL_NAMES",
     "ObligationCache",
+    "ProgramMerge",
     "ProgramOutcome",
+    "ResourceWatchdog",
+    "SHED_AT",
+    "SHRINK_AT",
+    "STOP_AT",
     "SupervisionOutcome",
     "Supervisor",
     "SupervisorConfig",
+    "SweepJournal",
     "SweepResult",
     "TaskResult",
+    "UNIT_SEP",
+    "UnitRecord",
+    "WorkUnit",
+    "decompose",
     "default_cache_dir",
     "default_jobs",
+    "dir_bytes",
     "framework_digest",
+    "iter_events",
+    "journal_path",
+    "load_image",
+    "merge_program",
     "module_source",
     "program_fingerprint",
+    "read_journal",
+    "report_checksum",
     "resolve_programs",
     "run_sweep",
     "supervise",
     "sweep",
+    "tree_rss_bytes",
+    "unit_mode",
+    "units_for",
 ]

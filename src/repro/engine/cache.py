@@ -5,7 +5,8 @@ One JSON file per case study, atomically replaced on store::
     .repro-cache/
         cas-lock-d663f1b7.json
         ticketed-lock-0355dc9c.json
-        ...
+        corrupt/                  <- quarantined unreadable entries
+        journal/sweep.jsonl       <- the durable sweep journal
 
 The file stem is the slugified program name plus a short digest of the
 *exact* name: two distinct registry names that slugify identically
@@ -14,12 +15,20 @@ program's store would evict the other's entry on every run.
 
 Each file holds the cache schema version, the program name, the content
 fingerprint it was computed under (see :mod:`repro.engine.fingerprint`),
-a creation timestamp, free-form metadata, and the serialized
+a creation timestamp, free-form metadata, a **checksum** over the
+serialized report, and the serialized
 :class:`~repro.core.verify.VerificationReport`.  ``load`` returns the
-replayed report only when every one of schema, program and fingerprint
-matches; *any* problem — missing file, truncated JSON, wrong shape,
-stale fingerprint — degrades to a cache miss, never to an error: a
-corrupted cache must cost a recomputation, not a verdict.
+replayed report only when every one of schema, program, fingerprint and
+checksum matches; *any* problem degrades to a cache miss, never to an
+error: a corrupted cache must cost a recomputation, not a verdict.
+
+Self-healing: an entry that *exists but cannot be trusted* — torn JSON,
+a checksum mismatch (bit rot, injectable via the ``corrupt`` fault
+kind), a report that no longer deserializes — is not merely skipped but
+**quarantined**: moved into ``corrupt/`` (for forensics) so the slot is
+clean for the recomputed verdict, and reported as a warning on the
+sweep.  A stale-but-intact entry (old schema, old fingerprint) is a
+plain miss and is left in place.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from typing import Any
 
 from ..core.verify import VerificationReport
 from ..obs.tracer import instant as _trace_instant
-from .faults import maybe_torn_write
+from .faults import maybe_diskfull, maybe_store_fault
 from .fingerprint import CACHE_SCHEMA_VERSION
 
 #: Default cache directory, relative to the current working directory.
@@ -42,6 +51,9 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Environment override for the cache location.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Quarantine subdirectory for corrupt entries.
+CORRUPT_DIRNAME = "corrupt"
 
 
 def default_cache_dir() -> Path:
@@ -61,6 +73,16 @@ def _slug(name: str) -> str:
     return f"{readable}-{digest}"
 
 
+def report_checksum(report_dict: dict[str, Any]) -> str:
+    """Canonical SHA-256 over a serialized report (the entry checksum)."""
+    canonical = json.dumps(report_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class CorruptEntry(Exception):
+    """Internal: the entry exists but cannot be trusted (vs. a clean miss)."""
+
+
 class ObligationCache:
     """Verdict store keyed by program name + content fingerprint."""
 
@@ -70,22 +92,86 @@ class ObligationCache:
     def path_for(self, program: str) -> Path:
         return self.root / f"{_slug(program)}.json"
 
-    def load(self, program: str, fingerprint: str) -> VerificationReport | None:
-        """The cached report, or ``None`` on any miss/mismatch/corruption."""
-        try:
-            data = json.loads(self.path_for(program).read_text(encoding="utf-8"))
-            if data.get("schema") != CACHE_SCHEMA_VERSION:
-                return None
-            if data.get("program") != program:
-                return None
-            if data.get("fingerprint") != fingerprint:
-                return None
-            report = VerificationReport.from_dict(data["report"])
-            if report.program != program:
-                return None
-            return report
-        except Exception:  # noqa: BLE001 - corruption degrades to a miss
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / CORRUPT_DIRNAME
+
+    def _validate(self, program: str, fingerprint: str) -> VerificationReport | None:
+        """Parse + verify one entry; ``None`` = clean miss, raises
+        :class:`CorruptEntry` when the entry exists but is untrustable."""
+        path = self.path_for(program)
+        if not path.is_file():
             return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise CorruptEntry(f"unreadable JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise CorruptEntry("entry is not a JSON object")
+        if data.get("schema") != CACHE_SCHEMA_VERSION:
+            return None  # stale-but-intact: a plain miss
+        if "report" not in data or "checksum" not in data:
+            raise CorruptEntry("entry is missing report/checksum fields")
+        if data.get("checksum") != report_checksum(data["report"]):
+            raise CorruptEntry("checksum mismatch (bit rot or torn write)")
+        if data.get("program") != program:
+            return None
+        if data.get("fingerprint") != fingerprint:
+            return None
+        try:
+            report = VerificationReport.from_dict(data["report"])
+        except Exception as exc:  # noqa: BLE001 - checksummed yet unparsable
+            raise CorruptEntry(f"report does not deserialize: {exc}") from exc
+        if report.program != program:
+            return None
+        return report
+
+    def quarantine(self, program: str, reason: str) -> Path | None:
+        """Move ``program``'s entry into ``corrupt/``; the new path."""
+        path = self.path_for(program)
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            dest = self.corrupt_dir / (
+                f"{path.name}.{int(time.time())}.{os.getpid()}"
+            )
+            os.replace(path, dest)
+        except OSError:
+            # Even quarantine may hit a sick disk: degrade to deletion,
+            # and failing that leave the entry (load still misses).
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                return None
+            return None
+        _trace_instant(
+            "cache:quarantine", "cache", program=program, reason=reason
+        )
+        return dest
+
+    def load_verified(
+        self, program: str, fingerprint: str
+    ) -> tuple[VerificationReport | None, str | None]:
+        """``(report, warning)``: the cached report or ``None``, plus a
+        warning when a corrupt entry was quarantined on the way.
+
+        Corruption degrades to a recomputation with a warning — never an
+        exception, never a stale verdict.
+        """
+        try:
+            return self._validate(program, fingerprint), None
+        except CorruptEntry as exc:
+            dest = self.quarantine(program, str(exc))
+            where = f" (quarantined to {dest})" if dest is not None else ""
+            return None, (
+                f"corrupt cache entry for {program!r}: {exc}{where}; recomputing"
+            )
+        except Exception:  # noqa: BLE001 - never let the cache fail a sweep
+            return None, None
+
+    def load(self, program: str, fingerprint: str) -> VerificationReport | None:
+        """The cached report, or ``None`` on any miss/mismatch/corruption
+        (corrupt entries are quarantined as a side effect)."""
+        return self.load_verified(program, fingerprint)[0]
 
     def store(
         self,
@@ -102,18 +188,22 @@ class ObligationCache:
         its temp file instead of littering the cache directory with
         orphaned ``*.tmp.<pid>`` files.
         """
+        maybe_diskfull(program, "cache")
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(program)
+        report_dict = report.to_dict()
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
             "program": program,
             "fingerprint": fingerprint,
             "created": time.time(),
             "meta": meta or {},
-            "report": report.to_dict(),
+            "checksum": report_checksum(report_dict),
+            "report": report_dict,
         }
         text = json.dumps(payload, indent=2) + "\n"
-        if maybe_torn_write(program):
+        fault = maybe_store_fault(program)
+        if fault == "torn":
             # Chaos harness: simulate a crash mid-write — the entry on
             # disk is cut short and must read back as a miss, never as
             # a verdict (see docs/ROBUSTNESS.md).
@@ -125,10 +215,40 @@ class ObligationCache:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
+        if fault == "corrupt":
+            # Chaos harness: flip bytes in the stored entry *after* the
+            # atomic replace — silent bit rot the checksum must catch.
+            self._flip_bytes(path)
         _trace_instant(
             "cache:store", "cache", program=program, bytes=len(text)
         )
         return path
+
+    @staticmethod
+    def _flip_bytes(path: Path) -> None:
+        """Silently alter the stored entry's *report* content.
+
+        Flips digit bytes inside the ``report`` subtree so the file
+        stays valid UTF-8/JSON — the tampering is detectable only by
+        the checksum, which is exactly the self-healing path under
+        test.  Falls back to raw byte-smashing (unreadable JSON, also
+        quarantined) if no digit exists to flip.
+        """
+        raw = bytearray(path.read_bytes())
+        start = raw.find(b'"report"')
+        start = start if start >= 0 else len(raw) // 2
+        flipped = 0
+        for offset in range(start, len(raw)):
+            if 0x30 <= raw[offset] <= 0x39:  # ASCII digit: stays a digit
+                raw[offset] ^= 0x01
+                flipped += 1
+                if flipped >= 8:
+                    break
+        if not flipped:
+            mid = len(raw) // 2
+            for offset in range(mid, min(mid + 8, len(raw))):
+                raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
 
     def _is_entry(self, path: Path) -> bool:
         """Whether ``path`` parses as a schema-versioned cache entry."""

@@ -29,6 +29,20 @@ run.  The engine fixes both ends:
   (:mod:`repro.engine.faults`, ``--inject``) exists to prove all of
   this under test.
 
+* **Durability** — every work unit's lifecycle is journaled to an
+  fsync'd append-only log (:mod:`repro.engine.journal`) the moment it
+  completes, so a sweep killed hard (kill -9, OOM, power loss) is
+  resumable: ``sweep(resume=True)`` / ``repro verify --resume`` replays
+  journaled verdicts and re-executes only the units that were pending
+  or in-flight, with verdicts identical to an uninterrupted run.  The
+  unit granularity is the work queue's (:mod:`repro.engine.queue`):
+  whole programs by default, (program, obligation-group) slices under
+  ``split_obligations`` — per-unit leases, retries and quarantine.  A
+  resource watchdog (:mod:`repro.engine.watchdog`) enforces soft
+  ``max_rss``/``max_disk`` budgets via a degradation ladder (shed
+  parallelism → shrink explorer caps → checkpoint-and-exit 3) instead
+  of letting the kernel OOM-killer pick the failure mode.
+
 ``--jobs 1`` degenerates to the fully serial in-process path (no pool is
 ever created), which doubles as the reference the parallel path is
 tested for equivalence against.
@@ -44,14 +58,18 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
+from pathlib import Path
+
 from ..core.verify import (
     CATEGORIES,
     VerificationReport,
     explore_jobs_default,
     liveness_default,
     por_default,
+    set_explore_cap_scale,
     set_explore_jobs_default,
     set_liveness_default,
+    set_obligation_filter,
     set_por_default,
     set_prepass,
     set_symmetry_default,
@@ -59,9 +77,11 @@ from ..core.verify import (
 )
 from ..obs import tracer as obs_tracer
 from ..structures.registry import ProgramInfo, all_programs, registry_programs
-from .cache import ObligationCache
+from .cache import ObligationCache, default_cache_dir
 from .faults import FaultPlan, maybe_inject, plan_installed
 from .fingerprint import program_fingerprint
+from .journal import SweepJournal, journal_path, load_image
+from .queue import UnitRecord, WorkUnit, decompose, merge_program, unit_mode, units_for
 from .supervisor import (
     INFRA_STATUSES,
     SupervisorConfig,
@@ -70,6 +90,7 @@ from .supervisor import (
     exc_payload,
     supervise,
 )
+from .watchdog import LEVEL_NAMES, ResourceWatchdog
 
 #: Process exit code for a sweep degraded by infrastructure faults
 #: (vs. 1 = a verification verdict failed, 2 = unknown program).
@@ -98,10 +119,20 @@ class ProgramOutcome:
     retries: int = 0
     #: Structured ``{type, message, traceback}`` for error-class statuses.
     error: dict[str, Any] | None = None
+    #: Work units this program decomposed into (1 = whole-program unit).
+    units: int = 1
+    #: Units whose verdict was replayed from the sweep journal instead
+    #: of re-executed (``--resume`` after a crash).
+    replayed_units: int = 0
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def replayed(self) -> bool:
+        """Any part of this outcome came from the sweep journal."""
+        return self.replayed_units > 0
 
     @property
     def quarantined(self) -> bool:
@@ -126,6 +157,8 @@ class ProgramOutcome:
                 [o.to_dict() for o in self.report.failures()] if self.report else []
             ),
             "error": self.error,
+            "units": self.units,
+            "replayed_units": self.replayed_units,
         }
 
 
@@ -140,10 +173,13 @@ class SweepResult:
     #: True when the worker pool could not be (re)built and the sweep
     #: fell back to serial in-process execution.
     degraded: bool = False
-    #: True when a KeyboardInterrupt cut the sweep short (the result is
-    #: partial: completed + cached outcomes, the rest ``interrupted``).
+    #: True when a KeyboardInterrupt (or a watchdog checkpoint) cut the
+    #: sweep short (the result is partial: completed + cached outcomes,
+    #: the rest ``interrupted`` — and journaled, so resumable).
     interrupted: bool = False
     warnings: list[str] = field(default_factory=list)
+    #: Where the durable sweep journal lives (``None`` = journaling off).
+    journal_path: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -152,6 +188,11 @@ class SweepResult:
     @property
     def hits(self) -> int:
         return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def replayed(self) -> int:
+        """Total units replayed from the journal instead of re-executed."""
+        return sum(o.replayed_units for o in self.outcomes)
 
     def quarantined(self) -> list[ProgramOutcome]:
         """Outcomes with no verdict (crashed/timed out/raised/interrupted)."""
@@ -186,6 +227,8 @@ class SweepResult:
             "degraded": self.degraded,
             "interrupted": self.interrupted,
             "warnings": list(self.warnings),
+            "journal": self.journal_path,
+            "replayed_units": self.replayed,
             "programs": [o.to_dict() for o in self.outcomes],
         }
 
@@ -198,16 +241,20 @@ class SweepResult:
         lines = [header, "-" * len(header)]
         for o in self.outcomes:
             counts = o.report.counts_by_category() if o.report else {}
+            source = "hit" if o.cached else ("jrnl" if o.replayed else "miss")
             lines.append(
                 f"{o.name:<15} {o.status:>7} "
                 + " ".join(f"{counts.get(c, 0):>5}" for c in CATEGORIES)
-                + f" {o.seconds:>7.2f}s {'hit' if o.cached else 'miss':>6}"
+                + f" {o.seconds:>7.2f}s {source:>6}"
                 + (f" {o.retries:>5}" if o.retries else f" {'':>5}")
             )
-        lines.append(
+        summary = (
             f"{len(self.outcomes)} program(s), {self.hits} cache hit(s), "
             f"jobs={self.jobs}, wall {self.seconds:.2f}s"
         )
+        if self.replayed:
+            summary += f", {self.replayed} unit(s) replayed from journal"
+        lines.append(summary)
         for o in self.outcomes:
             if o.report is not None:
                 for failure in o.report.failures():
@@ -338,32 +385,52 @@ def _explore_jobs_installed(jobs: int):
         set_explore_jobs_default(previous)
 
 
-def _verify_one(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
-    """Run one case study's verifier; returns a picklable payload.
+def _verify_one(task: Any, attempt: int = 1) -> dict[str, Any]:
+    """Run one work unit's verifier; returns a picklable payload.
 
-    The payload is structured even on failure: a verifier that raises
-    yields ``{"status": "error", "error": {type, message, traceback}}``
-    rather than a pickled exception, so the serial and parallel paths
-    report verifier bugs identically.  Injected faults fire *before*
-    the capture — a ``raise`` fault models a harness bug escaping the
-    worker, which the supervisor (not this function) must absorb.
+    ``task`` is a :class:`~repro.engine.queue.WorkUnit` (or, for
+    back-compat, a bare ``ProgramInfo``, treated as a whole-program
+    unit).  The payload is structured even on failure: a verifier that
+    raises yields ``{"status": "error", "error": {type, message,
+    traceback}}`` rather than a pickled exception, so the serial and
+    parallel paths report verifier bugs identically.  Injected faults
+    fire *before* the capture — a ``raise`` fault models a harness bug
+    escaping the worker, which the supervisor (not this function) must
+    absorb.  Program-named fault specs fire for every unit of the
+    program; unit-id-named specs (``Program::Group:kind``) target one
+    obligation group alone.
     """
-    announce(info.name)
-    maybe_inject(info.name, attempt)
+    unit = task if isinstance(task, WorkUnit) else WorkUnit(task)
+    announce(unit.name)
+    maybe_inject(unit.program, attempt)
+    if unit.group is not None:
+        maybe_inject(unit.name, attempt)
     if obs_tracer.local_session_needed():
         # Pool worker under a tracing parent: collect a local trace and
         # ship its (picklable) records home in the payload for ingestion.
         with obs_tracer.tracing(mirror_env=False) as local:
-            payload = _verify_payload(info)
+            payload = _verify_payload(unit)
         payload["trace"] = list(local.records)
         return payload
-    return _verify_payload(info)
+    return _verify_payload(unit)
 
 
-def _verify_payload(info: ProgramInfo) -> dict[str, Any]:
+def _verify_payload(unit: WorkUnit) -> dict[str, Any]:
+    info = unit.info
     started = time.perf_counter()
     try:
-        report = info.run_verifier()
+        if unit.group is not None:
+            # Obligation-group unit: the verifier runs with the
+            # process-global filter restricted to this group, so only
+            # its obligations execute (and are recorded).  Always
+            # restored — pool workers are reused across units.
+            set_obligation_filter((unit.group,))
+            try:
+                report = info.run_verifier()
+            finally:
+                set_obligation_filter(None)
+        else:
+            report = info.run_verifier()
     except Exception as exc:  # noqa: BLE001 - structured, not pickled
         payload: dict[str, Any] = {
             "status": "error",
@@ -376,10 +443,11 @@ def _verify_payload(info: ProgramInfo) -> dict[str, Any]:
             "seconds": time.perf_counter() - started,
             "report": report.to_dict(),
         }
+    payload["group"] = unit.group
     tr = obs_tracer.current()
     if tr is not None:
         tr.span(
-            f"verify:{info.name}",
+            f"verify:{unit.name}",
             "verify",
             started * 1e6,
             (started + payload["seconds"]) * 1e6,
@@ -388,13 +456,13 @@ def _verify_payload(info: ProgramInfo) -> dict[str, Any]:
     return payload
 
 
-def _verify_one_prepassed(info: ProgramInfo, attempt: int = 1) -> dict[str, Any]:
+def _verify_one_prepassed(task: Any, attempt: int = 1) -> dict[str, Any]:
     """Degraded-serial worker: per-call pre-pass installation (the pool
     initializer that normally does this never ran)."""
     from ..analysis.prepass import static_prepass
 
     with static_prepass():
-        return _verify_one(info, attempt)
+        return _verify_one(task, attempt)
 
 
 def default_jobs(pending: int) -> int:
@@ -403,47 +471,78 @@ def default_jobs(pending: int) -> int:
 
 
 def _serial_results(
-    pending: Sequence[ProgramInfo], *, prepass: bool
+    pending: Sequence[WorkUnit],
+    *,
+    prepass: bool,
+    on_lease: Any = None,
+    on_result: Any = None,
+    should_stop: Any = None,
 ) -> tuple[dict[str, TaskResult], bool]:
     """The ``--jobs 1`` path: in-process, no pool, no supervision.
 
-    Per-program timeouts and crash isolation need a process boundary
-    and do not apply here; verifier exceptions are still captured as
-    structured ``error`` outcomes, and a ``KeyboardInterrupt`` returns
-    the completed prefix with the rest marked ``interrupted``.
+    Per-unit timeouts and crash isolation need a process boundary and do
+    not apply here; verifier exceptions are still captured as structured
+    ``error`` outcomes, and a ``KeyboardInterrupt`` (or a watchdog
+    ``should_stop`` checkpoint) returns the completed prefix with the
+    rest marked ``interrupted`` — every completed unit was already
+    delivered through ``on_result``, so the journal holds its verdict.
     """
     results: dict[str, TaskResult] = {}
     interrupted = False
 
+    def emit(result: TaskResult) -> None:
+        results[result.name] = result
+        if on_result is not None:
+            try:
+                on_result(result)
+            except Exception:  # noqa: BLE001 - journaling must not kill units
+                pass
+
     def run_all() -> None:
         nonlocal interrupted
-        for info in pending:
+        for unit in pending:
+            if not interrupted and should_stop is not None:
+                try:
+                    interrupted = should_stop() is not None
+                except Exception:  # noqa: BLE001 - a sick callback never stalls
+                    pass
             if interrupted:
-                results[info.name] = TaskResult(info.name, "interrupted")
+                emit(TaskResult(unit.name, "interrupted"))
                 continue
             started = time.perf_counter()
+            if on_lease is not None:
+                try:
+                    on_lease(unit.name, 1, None)
+                except Exception:  # noqa: BLE001
+                    pass
             try:
-                payload = _verify_one(info)
+                payload = _verify_one(unit)
             except KeyboardInterrupt:
                 interrupted = True
-                results[info.name] = TaskResult(
-                    info.name, "interrupted",
-                    seconds=time.perf_counter() - started,
+                emit(
+                    TaskResult(
+                        unit.name, "interrupted",
+                        seconds=time.perf_counter() - started,
+                    )
                 )
                 continue
             except Exception as exc:  # noqa: BLE001 - e.g. injected 'raise'
-                results[info.name] = TaskResult(
-                    info.name, "error",
-                    error=exc_payload(exc),
-                    seconds=time.perf_counter() - started,
+                emit(
+                    TaskResult(
+                        unit.name, "error",
+                        error=exc_payload(exc),
+                        seconds=time.perf_counter() - started,
+                    )
                 )
                 continue
-            results[info.name] = TaskResult(
-                info.name,
-                payload.get("status", "report"),
-                payload=payload,
-                error=payload.get("error"),
-                seconds=time.perf_counter() - started,
+            emit(
+                TaskResult(
+                    unit.name,
+                    payload.get("status", "report"),
+                    payload=payload,
+                    error=payload.get("error"),
+                    seconds=time.perf_counter() - started,
+                )
             )
 
     if not prepass:
@@ -457,7 +556,7 @@ def _serial_results(
 
 
 def _pool_map_results(
-    pending: Sequence[ProgramInfo], *, jobs: int, prepass: bool
+    pending: Sequence[WorkUnit], *, jobs: int, prepass: bool
 ) -> dict[str, TaskResult]:
     """The unsupervised PR-2 path: a bare ``pool.map``.
 
@@ -473,14 +572,14 @@ def _pool_map_results(
     ) as pool:
         payloads = pool.map(_verify_one, pending)
     return {
-        info.name: TaskResult(
-            info.name,
+        unit.name: TaskResult(
+            unit.name,
             payload.get("status", "report"),
             payload=payload,
             error=payload.get("error"),
             seconds=payload.get("seconds", 0.0),
         )
-        for info, payload in zip(pending, payloads)
+        for unit, payload in zip(pending, payloads)
     }
 
 
@@ -500,6 +599,11 @@ def sweep(
     backoff: float = 0.25,
     faults: FaultPlan | str | None = None,
     supervised: bool = True,
+    journal: bool = True,
+    resume: bool = False,
+    split_obligations: bool = False,
+    max_rss_mb: float | None = None,
+    max_disk_mb: float | None = None,
 ) -> SweepResult:
     """Verify ``programs``, replaying cached verdicts and fanning the rest
     out over ``jobs`` supervised worker processes (``None`` = one per
@@ -534,6 +638,21 @@ def sweep(
     duration of the sweep — the chaos harness.  ``supervised=False``
     selects the bare ``pool.map`` baseline (benchmarking only).
 
+    ``journal`` (default on) records every unit's lifecycle in the
+    durable sweep journal; ``resume=True`` first replays verdict-bearing
+    unit records from that journal — fingerprint-gated, so an edited
+    program re-runs fresh — and executes only what remains.
+    ``split_obligations`` decomposes each program into per-obligation-
+    category work units (see :mod:`repro.engine.queue`): timeout/retry/
+    quarantine and journal replay then apply per group, and the partial
+    reports are merged back per program.  ``max_rss_mb``/``max_disk_mb``
+    arm the resource watchdog (soft budgets, MiB): at 70% parallelism is
+    shed, at 85% explorer caps shrink (new cache stores stop, the sweep
+    is marked degraded), at 100% the sweep checkpoints — pending units
+    are marked ``interrupted``, exit code 3, resumable.  The cap shrink
+    is process-global and env-mirrored; already-forked pool workers keep
+    their caps, so it is best-effort for work already in flight.
+
     The sweep always returns an outcome for every requested program:
     infrastructure faults quarantine a program (``status`` records what
     happened) instead of killing the run.
@@ -542,134 +661,316 @@ def sweep(
     tr = obs_tracer.current()
     plan = FaultPlan.parse(faults) if isinstance(faults, str) else faults
     store = ObligationCache(cache_dir) if cache else None
-    outcomes: dict[str, ProgramOutcome] = {}
-    fingerprints: dict[str, str] = {}
-    pending: list[ProgramInfo] = []
+    cache_root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    split = bool(split_obligations)
+    program_units = {info.name: units_for(info, split=split) for info in programs}
 
-    for info in programs:
-        fingerprint = fingerprints[info.name] = program_fingerprint(info)
-        if store is not None:
+    outcomes: dict[str, ProgramOutcome] = {}
+    fingerprints: dict[str, str] = {
+        info.name: program_fingerprint(info) for info in programs
+    }
+    # Terminal per-unit state, keyed by unit id (journal replay + live).
+    unit_records: dict[str, UnitRecord] = {}
+    degraded = False
+    interrupted = False
+    stop_caching = False
+    warnings: list[str] = []
+    jpath = journal_path(cache_root)
+
+    def _on_level(level: int, reason: str) -> None:
+        nonlocal stop_caching
+        warnings.append(f"watchdog rung {level} ({LEVEL_NAMES[level]}): {reason}")
+        if level >= 2:
+            stop_caching = True
+            set_explore_cap_scale(0.5)
+
+    watchdog: ResourceWatchdog | None = None
+    if max_rss_mb or max_disk_mb:
+        watchdog = ResourceWatchdog(
+            max_rss_bytes=int(max_rss_mb * 2**20) if max_rss_mb else None,
+            max_disk_bytes=int(max_disk_mb * 2**20) if max_disk_mb else None,
+            disk_root=cache_root,
+            on_level=_on_level,
+        )
+
+    # The plan stays installed for the whole body: cache stores, journal
+    # appends and the workers all have injectable fault sites.
+    with plan_installed(plan):
+        sj = SweepJournal(jpath) if journal else None
+
+        # -- phase 1: journal replay (resume) ----------------------------------
+        image = None
+        if resume:
+            image = load_image(jpath)
+            if not image.exists:
+                warnings.append(
+                    f"resume requested but no usable journal at {jpath}; "
+                    "running the full sweep"
+                )
+                image = None
+        if image is not None:
+            for info in programs:
+                fingerprint = fingerprints[info.name]
+                whole = image.replayable(info.name, info.name, fingerprint)
+                candidates: list[tuple[WorkUnit, dict[str, Any]]] = []
+                if whole is not None:
+                    candidates.append((WorkUnit(info), whole))
+                elif split:
+                    for unit in program_units[info.name]:
+                        rec = image.replayable(unit.name, info.name, fingerprint)
+                        if rec is not None:
+                            candidates.append((unit, rec))
+                for unit, rec in candidates:
+                    payload = rec.get("payload")
+                    if not isinstance(payload, dict) or "report" not in payload:
+                        continue
+                    unit_records[unit.name] = UnitRecord(
+                        unit,
+                        "report",
+                        payload=payload,
+                        retries=int(rec.get("retries") or 0),
+                        seconds=float(rec.get("seconds") or 0.0),
+                        replayed=True,
+                    )
+                    if tr is not None:
+                        tr.instant("journal:replay", "journal", unit=unit.name)
+
+        # -- phase 2: open the journal for this run ----------------------------
+        if sj is not None:
+            sj.begin(
+                fingerprints,
+                [u.name for units in program_units.values() for u in units],
+                mode=unit_mode(split),
+                resume=image is not None,
+                flags={
+                    "split": split, "por": por,
+                    "liveness": liveness, "symmetry": symmetry,
+                },
+            )
+
+        # -- phase 3: obligation-cache replay ----------------------------------
+        for info in programs:
+            covered = info.name in unit_records or any(
+                u.name in unit_records for u in program_units[info.name]
+            )
+            if covered or store is None:
+                continue
+            fingerprint = fingerprints[info.name]
             t0 = time.perf_counter()
-            hit = store.load(info.name, fingerprint)
+            hit, cache_warning = store.load_verified(info.name, fingerprint)
+            if cache_warning:
+                warnings.append(cache_warning)
             if hit is not None:
                 if tr is not None:
                     tr.instant("cache:hit", "cache", program=info.name)
+                elapsed = time.perf_counter() - t0
                 outcomes[info.name] = ProgramOutcome(
                     info.name,
                     hit,
                     fingerprint,
                     True,
-                    time.perf_counter() - t0,
+                    elapsed,
                     status="ok" if hit.ok else "failed",
+                    units=len(program_units[info.name]),
                 )
+                if sj is not None:
+                    # Journal the replayed verdict too: resume must not
+                    # depend on the cache entry still being intact.
+                    sj.unit_done(
+                        info.name, info.name, None, "report",
+                        payload={"report": hit.to_dict()},
+                        seconds=elapsed, via="cache",
+                    )
                 continue
             if tr is not None:
                 tr.instant("cache:miss", "cache", program=info.name)
-        pending.append(info)
 
-    if jobs is None and explore_jobs > 1:
-        # Give the cores to per-program exploration shards, not program
-        # fan-out: a daemonic sweep worker cannot host a shard pool.
-        jobs = 1
-    jobs = default_jobs(len(pending)) if jobs is None else max(1, jobs)
-    jobs = min(jobs, len(pending)) if pending else 1
+        # -- phase 4: dispatch what remains ------------------------------------
+        pending_units: list[WorkUnit] = []
+        for info in programs:
+            if info.name in outcomes or info.name in unit_records:
+                continue
+            pending_units.extend(
+                u for u in program_units[info.name]
+                if u.name not in unit_records
+            )
+        units_by_name = {u.name: u for u in pending_units}
 
-    degraded = False
-    interrupted = False
-    warnings: list[str] = []
+        if jobs is None and explore_jobs > 1:
+            # Give the cores to per-program exploration shards, not program
+            # fan-out: a daemonic sweep worker cannot host a shard pool.
+            jobs = 1
+        jobs = default_jobs(len(pending_units)) if jobs is None else max(1, jobs)
+        jobs = min(jobs, len(pending_units)) if pending_units else 1
 
-    if pending:
-        # The plan stays installed through the store loop below: torn
-        # cache writes are a cache-site fault, fired in this process.
-        with _por_installed(por), _liveness_installed(liveness), \
-                _symmetry_installed(symmetry), \
-                _explore_jobs_installed(explore_jobs), plan_installed(plan):
-            if jobs == 1:
-                results, interrupted = _serial_results(pending, prepass=prepass)
-            elif not supervised:
-                results = _pool_map_results(pending, jobs=jobs, prepass=prepass)
-            else:
-                outcome = supervise(
-                    pending,
-                    worker=_verify_one,
-                    config=SupervisorConfig(
-                        jobs=jobs, timeout=timeout, retries=retries, backoff=backoff
-                    ),
-                    initializer=(
-                        _install_worker_prepass
-                        if prepass
-                        else _uninstall_worker_prepass
-                    ),
-                    serial_worker=(
-                        _verify_one_prepassed if prepass else _verify_one
-                    ),
+        def _journal_lease(name: str, attempt: int, lease: float | None) -> None:
+            unit = units_by_name.get(name)
+            if sj is not None and unit is not None:
+                sj.unit_leased(
+                    name, unit.program, attempt=attempt, lease_seconds=lease
                 )
-                results = outcome.results
-                degraded = outcome.degraded
-                interrupted = outcome.interrupted
-                warnings.extend(outcome.warnings)
 
-            for info in pending:
-                result = results.get(info.name)
-                fingerprint = fingerprints[info.name]
-                if result is None:  # defensive: supervision must answer everyone
-                    outcomes[info.name] = ProgramOutcome(
-                        info.name, None, fingerprint, False, 0.0, status="crashed"
-                    )
-                    continue
-                if tr is not None and result.payload:
-                    # A pool worker's locally-collected trace rides home in
-                    # the payload; in-process runs traced directly already.
-                    tr.ingest(result.payload.get("trace") or [])
-                if result.status == "report":
-                    report = VerificationReport.from_dict(result.payload["report"])
-                    outcomes[info.name] = ProgramOutcome(
+        def _journal_result(result: TaskResult) -> None:
+            unit = units_by_name.get(result.name)
+            if sj is None or unit is None:
+                return
+            payload = None
+            if result.status == "report" and result.payload is not None:
+                payload = {"report": result.payload.get("report")}
+            sj.unit_done(
+                result.name, unit.program, unit.group, result.status,
+                payload=payload, error=result.error, retries=result.retries,
+                seconds=(result.payload or {}).get("seconds", result.seconds),
+            )
+
+        journaled_live = supervised or jobs == 1
+        try:
+            if pending_units:
+                if watchdog is not None:
+                    watchdog.start()
+                with _por_installed(por), _liveness_installed(liveness), \
+                        _symmetry_installed(symmetry), \
+                        _explore_jobs_installed(explore_jobs):
+                    if jobs == 1:
+                        results, interrupted = _serial_results(
+                            pending_units,
+                            prepass=prepass,
+                            on_lease=_journal_lease,
+                            on_result=_journal_result,
+                            should_stop=(
+                                watchdog.stop_reason
+                                if watchdog is not None else None
+                            ),
+                        )
+                    elif not supervised:
+                        results = _pool_map_results(
+                            pending_units, jobs=jobs, prepass=prepass
+                        )
+                    else:
+                        outcome = supervise(
+                            pending_units,
+                            worker=_verify_one,
+                            config=SupervisorConfig(
+                                jobs=jobs,
+                                timeout=timeout,
+                                retries=retries,
+                                backoff=backoff,
+                                throttle=(
+                                    watchdog.throttle(jobs)
+                                    if watchdog is not None else None
+                                ),
+                                should_stop=(
+                                    watchdog.stop_reason
+                                    if watchdog is not None else None
+                                ),
+                            ),
+                            initializer=(
+                                _install_worker_prepass
+                                if prepass
+                                else _uninstall_worker_prepass
+                            ),
+                            serial_worker=(
+                                _verify_one_prepassed if prepass else _verify_one
+                            ),
+                            on_lease=_journal_lease,
+                            on_result=_journal_result,
+                        )
+                        results = outcome.results
+                        degraded = outcome.degraded
+                        interrupted = outcome.interrupted
+                        warnings.extend(outcome.warnings)
+
+                    for unit in pending_units:
+                        result = results.get(unit.name)
+                        if result is None:  # defensive: everyone gets an answer
+                            unit_records[unit.name] = UnitRecord(unit, "crashed")
+                            continue
+                        if tr is not None and result.payload:
+                            # A pool worker's locally-collected trace rides
+                            # home in the payload; in-process runs traced
+                            # directly already.
+                            tr.ingest(result.payload.get("trace") or [])
+                        if not journaled_live:
+                            _journal_result(result)
+                        unit_records[unit.name] = UnitRecord(
+                            unit,
+                            result.status,
+                            payload=result.payload,
+                            error=result.error,
+                            retries=result.retries,
+                            seconds=(result.payload or {}).get(
+                                "seconds", result.seconds
+                            ),
+                        )
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+                set_explore_cap_scale(None)
+        if watchdog is not None:
+            degraded = degraded or watchdog.degraded
+            interrupted = interrupted or watchdog.stop_reason() is not None
+
+        # -- phase 5: merge units back into per-program outcomes ---------------
+        for info in programs:
+            if info.name in outcomes:
+                continue
+            fingerprint = fingerprints[info.name]
+            whole = unit_records.get(info.name)
+            if whole is not None and whole.unit.group is None:
+                records = [whole]
+            else:
+                records = [
+                    unit_records.get(u.name) or UnitRecord(u, "crashed")
+                    for u in program_units[info.name]
+                ]
+            merge = merge_program(info, records)
+            outcomes[info.name] = ProgramOutcome(
+                info.name,
+                merge.report,
+                fingerprint,
+                False,
+                merge.seconds,
+                status=merge.status,
+                retries=merge.retries,
+                error=merge.error,
+                units=merge.units,
+                replayed_units=merge.replayed_units,
+            )
+            if merge.report is not None and store is not None and not stop_caching:
+                try:
+                    store.store(
                         info.name,
-                        report,
                         fingerprint,
-                        False,
-                        result.payload.get("seconds", result.seconds),
-                        status="ok" if report.ok else "failed",
-                        retries=result.retries,
+                        merge.report,
+                        meta={
+                            "seconds": merge.seconds,
+                            "jobs": jobs,
+                            "retries": merge.retries,
+                            "units": merge.units,
+                        },
                     )
-                    if store is not None:
-                        try:
-                            store.store(
-                                info.name,
-                                fingerprint,
-                                report,
-                                meta={
-                                    "seconds": result.payload.get("seconds", 0.0),
-                                    "jobs": jobs,
-                                    "retries": result.retries,
-                                },
-                            )
-                        except Exception as exc:  # noqa: BLE001 - not sweep loss
-                            warnings.append(
-                                f"cache store failed for {info.name!r}: "
-                                f"{type(exc).__name__}: {exc}"
-                            )
-                else:
-                    outcomes[info.name] = ProgramOutcome(
-                        info.name,
-                        None,
-                        fingerprint,
-                        False,
-                        result.seconds,
-                        status=result.status,
-                        retries=result.retries,
-                        error=result.error,
+                except Exception as exc:  # noqa: BLE001 - not sweep loss
+                    warnings.append(
+                        f"cache store failed for {info.name!r}: "
+                        f"{type(exc).__name__}: {exc}"
                     )
 
-    result = SweepResult(
-        outcomes=[outcomes[info.name] for info in programs],
-        jobs=jobs,
-        seconds=time.perf_counter() - started,
-        cache_dir=str(store.root) if store is not None else None,
-        degraded=degraded,
-        interrupted=interrupted,
-        warnings=warnings,
-    )
+        result = SweepResult(
+            outcomes=[outcomes[info.name] for info in programs],
+            jobs=jobs,
+            seconds=time.perf_counter() - started,
+            cache_dir=str(store.root) if store is not None else None,
+            degraded=degraded,
+            interrupted=interrupted,
+            warnings=warnings,
+            journal_path=str(jpath) if sj is not None else None,
+        )
+        if sj is not None:
+            sj.finish(result.exit_code(), interrupted=interrupted)
+            if sj.broken is not None:
+                result.warnings.append(
+                    f"journal disabled ({sj.broken}); this sweep is not resumable"
+                )
     if tr is not None:
         tr.span(
             "sweep",
@@ -679,6 +980,7 @@ def sweep(
             programs=len(result.outcomes),
             jobs=jobs,
             cache_hits=result.hits,
+            replayed_units=result.replayed,
             degraded=degraded,
             interrupted=interrupted,
         )
@@ -701,6 +1003,11 @@ def run_sweep(
     backoff: float = 0.25,
     faults: FaultPlan | str | None = None,
     supervised: bool = True,
+    journal: bool = True,
+    resume: bool = False,
+    split_obligations: bool = False,
+    max_rss_mb: float | None = None,
+    max_disk_mb: float | None = None,
 ) -> SweepResult:
     """Name-based front door: resolve registry rows, then :func:`sweep`."""
     return sweep(
@@ -718,4 +1025,9 @@ def run_sweep(
         backoff=backoff,
         faults=faults,
         supervised=supervised,
+        journal=journal,
+        resume=resume,
+        split_obligations=split_obligations,
+        max_rss_mb=max_rss_mb,
+        max_disk_mb=max_disk_mb,
     )

@@ -25,6 +25,20 @@ Kinds
     The next cache write for the program is cut short halfway — models
     a crash mid-``write``.  The resulting entry must be unreadable
     (a recomputation), never a verdict.
+``corrupt``
+    The next cache entry stored for the program is silently byte-flipped
+    *after* the atomic replace — models bit rot / a misbehaving disk.
+    The entry must fail its checksum on load, be quarantined to
+    ``corrupt/`` and recomputed, never replayed as a verdict.
+``diskfull``
+    The next journal append (and the next cache store) for the program
+    raises ``OSError(ENOSPC)`` — models a full disk.  Journaling and
+    caching degrade with a warning; the sweep itself must survive.
+``sigkill``
+    The *sweep process* SIGKILLs itself right after the program's
+    ``unit:done`` journal record is appended — models a hard crash
+    (kill -9, OOM, power loss) at a deterministic point.  The journal
+    on disk must make the sweep resumable.
 
 Plans cross the :mod:`multiprocessing` pool boundary through the
 ``REPRO_FAULTS`` environment variable: the sweep installs the rendered
@@ -43,7 +57,9 @@ Spec grammar (``;``-separated in the env var / ``--inject``)::
 
 from __future__ import annotations
 
+import errno
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -52,7 +68,21 @@ from dataclasses import dataclass, field
 ENV_FAULTS = "REPRO_FAULTS"
 
 #: Recognised fault kinds.
-KINDS = ("crash", "hang", "raise", "torn")
+KINDS = ("crash", "hang", "raise", "torn", "corrupt", "diskfull", "sigkill")
+
+#: Which injection site each kind fires at: ``verify`` is the worker's
+#: verify call, ``cache`` the parent's cache store, ``disk`` any durable
+#: write (journal append or cache store), ``journal`` the parent's
+#: journal append of a completed unit.
+SITES = {
+    "crash": "verify",
+    "hang": "verify",
+    "raise": "verify",
+    "torn": "cache",
+    "corrupt": "cache",
+    "diskfull": "disk",
+    "sigkill": "journal",
+}
 
 #: Exit status used by an injected ``crash`` (EX_SOFTWARE).
 CRASH_EXIT_CODE = 70
@@ -92,9 +122,11 @@ class FaultSpec:
 
     @property
     def site(self) -> str:
-        """Where the fault is wired in: ``torn`` hits the cache write
-        (parent process), everything else the worker's verify call."""
-        return "cache" if self.kind == "torn" else "verify"
+        """Where the fault is wired in (see :data:`SITES`): ``torn`` /
+        ``corrupt`` hit the cache store, ``diskfull`` any durable write,
+        ``sigkill`` the journal append, the rest the worker's verify
+        call."""
+        return SITES[self.kind]
 
     def matches(self, program: str, site: str, attempt: int) -> bool:
         return (
@@ -132,11 +164,15 @@ class FaultSpec:
 @dataclass
 class FaultPlan:
     """An ordered collection of fault specs, plus per-program counters
-    for sites (the cache write) that have no externally supplied attempt
-    number."""
+    for sites (cache writes, journal appends, disk writes) that have no
+    externally supplied attempt number."""
 
     specs: tuple[FaultSpec, ...] = ()
-    _store_attempts: dict[str, int] = field(default_factory=dict, repr=False)
+    #: Per-``(counter, program)`` attempt numbers for parent-process
+    #: sites; the Nth call at a counter is attempt N for that program.
+    _site_attempts: dict[tuple[str, str], int] = field(
+        default_factory=dict, repr=False
+    )
 
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
@@ -177,16 +213,48 @@ class FaultPlan:
             return
         raise InjectedFault(f"injected fault {spec.render()} (attempt {attempt})")
 
-    def torn_write(self, program: str) -> bool:
-        """Whether the *next* cache write for ``program`` must be torn.
+    def _next_attempt(self, counter: str, program: str) -> int:
+        attempt = self._site_attempts.get((counter, program), 0) + 1
+        self._site_attempts[(counter, program)] = attempt
+        return attempt
+
+    def store_fault(self, program: str) -> str | None:
+        """The cache-site fault kind (``torn``/``corrupt``) due for the
+        *next* cache write of ``program``, or ``None``.
 
         Store attempts are counted per plan instance, in the process
         that owns the cache (the sweep parent) — the Nth ``store`` call
         for the program is attempt N.
         """
-        attempt = self._store_attempts.get(program, 0) + 1
-        self._store_attempts[program] = attempt
-        return self.spec_for(program, "cache", attempt) is not None
+        spec = self.spec_for(program, "cache", self._next_attempt("cache", program))
+        return spec.kind if spec is not None else None
+
+    def torn_write(self, program: str) -> bool:
+        """Back-compat shim: whether the next cache write must be torn."""
+        return self.store_fault(program) == "torn"
+
+    def disk_fault(self, program: str, where: str) -> None:
+        """Disk-site fault point (``diskfull``): raise ``OSError(ENOSPC)``
+        if the next durable write at ``where`` (``journal``/``cache``)
+        for ``program`` is due to fail.  Attempts are counted per
+        ``where``, so one spec covers whichever write path a sweep
+        actually exercises first.
+        """
+        attempt = self._next_attempt(f"disk:{where}", program)
+        if self.spec_for(program, "disk", attempt) is not None:
+            raise OSError(
+                errno.ENOSPC,
+                f"injected diskfull fault for {program!r} at {where} "
+                f"(attempt {attempt})",
+            )
+
+    def journal_fault(self, program: str) -> None:
+        """Journal-site fault point (``sigkill``): hard-kill the sweep
+        process right after ``program``'s ``unit:done`` record landed —
+        a deterministic stand-in for kill -9 / OOM / power loss."""
+        attempt = self._next_attempt("journal", program)
+        if self.spec_for(program, "journal", attempt) is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 # -- the active plan ----------------------------------------------------------
@@ -248,6 +316,30 @@ def maybe_inject(program: str, attempt: int) -> None:
 
 
 def maybe_torn_write(program: str) -> bool:
-    """Cache-side fault point: ``True`` iff this store must be torn."""
+    """Back-compat cache-side fault point: ``True`` iff torn."""
+    return maybe_store_fault(program) == "torn"
+
+
+def maybe_store_fault(program: str) -> str | None:
+    """Cache-side fault point: the kind (``torn``/``corrupt``) the next
+    store for ``program`` must suffer, or ``None``."""
     plan = active_plan()
-    return plan is not None and plan.torn_write(program)
+    return plan.store_fault(program) if plan is not None else None
+
+
+def maybe_diskfull(program: str, where: str) -> None:
+    """Disk-side fault point: raise ``OSError(ENOSPC)`` when due.
+
+    ``where`` names the write path (``journal`` or ``cache``); a no-op
+    without an active plan.
+    """
+    plan = active_plan()
+    if plan is not None:
+        plan.disk_fault(program, where)
+
+
+def maybe_sigkill(program: str) -> None:
+    """Journal-side fault point: SIGKILL the sweep process when due."""
+    plan = active_plan()
+    if plan is not None:
+        plan.journal_fault(program)

@@ -34,7 +34,8 @@ from ..structures.registry import ProgramInfo
 
 #: Bump to invalidate every existing cache entry (layout changes).
 #: 2: ObligationResult gained ``witnesses``/``traceback`` fields.
-CACHE_SCHEMA_VERSION = 2
+#: 3: entries gained a per-entry ``checksum`` (self-healing cache).
+CACHE_SCHEMA_VERSION = 3
 
 #: Top-level ``repro`` subpackages excluded from the framework digest:
 #: case studies are fingerprinted per program, and the evaluation /

@@ -63,6 +63,14 @@ class SupervisorConfig:
     backoff: float = 0.25
     #: Supervision loop granularity, in seconds.
     poll_interval: float = 0.05
+    #: Optional dynamic in-flight window (the resource watchdog's
+    #: parallelism shedding): polled each loop, result clamped to
+    #: ``[1, jobs]``.  ``None`` = the full ``jobs`` width.
+    throttle: Callable[[], int] | None = None
+    #: Optional checkpoint probe: a non-``None`` reason aborts the batch
+    #: like a KeyboardInterrupt (pending tasks marked ``interrupted``,
+    #: completed results kept) — the watchdog's checkpoint-and-exit rung.
+    should_stop: Callable[[], str | None] | None = None
 
 
 @dataclass
@@ -188,15 +196,38 @@ class Supervisor:
         config: SupervisorConfig,
         initializer: Callable[[], None] | None = None,
         serial_worker: Callable[..., dict[str, Any]] | None = None,
+        on_lease: Callable[[str, int, float | None], None] | None = None,
+        on_result: Callable[[TaskResult], None] | None = None,
     ):
         self.programs = list(programs)
         self.worker = worker
         self.config = config
         self.initializer = initializer
         self.serial_worker = serial_worker or worker
+        #: Incremental hooks for the durable journal: ``on_lease(name,
+        #: attempt, timeout)`` as a task goes in-flight, ``on_result``
+        #: the moment a task reaches its final :class:`TaskResult` —
+        #: *not* at batch end, so a hard crash of this process loses at
+        #: most the in-flight tasks.
+        self.on_lease = on_lease
+        self.on_result = on_result
         self.warnings: list[str] = []
         self._pool = None
         self._queue = None
+
+    def _notify_lease(self, task: "_Task") -> None:
+        if self.on_lease is not None:
+            try:
+                self.on_lease(task.name, task.attempt, self.config.timeout)
+            except Exception:  # noqa: BLE001 - journaling must not kill dispatch
+                pass
+
+    def _notify_result(self, result: TaskResult) -> None:
+        if self.on_result is not None:
+            try:
+                self.on_result(result)
+            except Exception:  # noqa: BLE001 - journaling must not kill dispatch
+                pass
 
     # -- pool lifecycle --------------------------------------------------------
 
@@ -261,13 +292,50 @@ class Supervisor:
             if queue is not None:
                 queue.close()
 
+    def _window(self) -> int:
+        """The current in-flight limit: ``jobs``, shed via ``throttle``."""
+        window = self.config.jobs
+        if self.config.throttle is not None:
+            try:
+                window = max(1, min(window, int(self.config.throttle())))
+            except Exception:  # noqa: BLE001 - a sick throttle never stalls
+                pass
+        return window
+
+    def _mark_pending_interrupted(
+        self, tasks: list[_Task], results: dict[str, TaskResult], reason: str
+    ) -> None:
+        for task in tasks:
+            if task.done is None:
+                task.done = results[task.name] = TaskResult(
+                    task.name,
+                    "interrupted",
+                    retries=task.retries,
+                    seconds=task.elapsed(),
+                )
+                self._notify_result(task.done)
+        self.warnings.append(reason)
+
     def _supervise(self, tasks: list[_Task], results: dict[str, TaskResult]) -> bool:
         waiting = list(tasks)
         active: dict[str, _Task] = {}
         try:
             while waiting or active:
+                if self.config.should_stop is not None:
+                    try:
+                        stop = self.config.should_stop()
+                    except Exception:  # noqa: BLE001 - probe bugs never stall
+                        stop = None
+                    if stop is not None:
+                        self._mark_pending_interrupted(
+                            tasks,
+                            results,
+                            f"sweep checkpointed: {stop}; pending programs "
+                            "marked 'interrupted', completed verdicts preserved",
+                        )
+                        return True
                 now = time.monotonic()
-                while waiting and len(active) < self.config.jobs:
+                while waiting and len(active) < self._window():
                     ready = next((t for t in waiting if t.not_before <= now), None)
                     if ready is None:
                         break
@@ -281,17 +349,11 @@ class Supervisor:
                     time.sleep(self.config.poll_interval)
             return False
         except KeyboardInterrupt:
-            for task in tasks:
-                if task.done is None:
-                    task.done = results[task.name] = TaskResult(
-                        task.name,
-                        "interrupted",
-                        retries=task.retries,
-                        seconds=task.elapsed(),
-                    )
-            self.warnings.append(
+            self._mark_pending_interrupted(
+                tasks,
+                results,
                 "sweep interrupted: pending programs marked 'interrupted', "
-                "completed verdicts preserved"
+                "completed verdicts preserved",
             )
             return True
 
@@ -326,6 +388,7 @@ class Supervisor:
             except Exception as again:  # noqa: BLE001 - fresh pool broken too
                 raise _Degraded() from again
         active[task.name] = task
+        self._notify_lease(task)
         _trace_instant(
             "supervisor:submit", "engine", program=task.name, attempt=task.attempt
         )
@@ -374,6 +437,7 @@ class Supervisor:
                 retries=task.retries,
                 seconds=task.elapsed(),
             )
+            self._notify_result(task.done)
             _trace_instant(
                 "supervisor:collect",
                 "engine",
@@ -489,6 +553,7 @@ class Supervisor:
             retries=task.retries,
             seconds=task.elapsed(),
         )
+        self._notify_result(task.done)
 
     # -- serial degradation ----------------------------------------------------
 
@@ -500,12 +565,22 @@ class Supervisor:
         for task in tasks:
             if task.done is not None:
                 continue
+            if not interrupted and self.config.should_stop is not None:
+                try:
+                    stop = self.config.should_stop()
+                except Exception:  # noqa: BLE001 - probe bugs never stall
+                    stop = None
+                if stop is not None:
+                    interrupted = True
+                    self.warnings.append(f"sweep checkpointed: {stop}")
             if interrupted:
                 task.done = results[task.name] = TaskResult(
                     task.name, "interrupted", retries=task.retries
                 )
+                self._notify_result(task.done)
                 continue
             started = time.monotonic()
+            self._notify_lease(task)
             try:
                 payload = self.serial_worker(task.info, task.attempt)
             except KeyboardInterrupt:
@@ -516,6 +591,7 @@ class Supervisor:
                     retries=task.retries,
                     seconds=time.monotonic() - started,
                 )
+                self._notify_result(task.done)
                 continue
             except Exception as exc:  # noqa: BLE001 - report, don't die
                 task.done = results[task.name] = TaskResult(
@@ -525,6 +601,7 @@ class Supervisor:
                     retries=task.retries,
                     seconds=time.monotonic() - started,
                 )
+                self._notify_result(task.done)
                 continue
             task.done = results[task.name] = TaskResult(
                 task.name,
@@ -534,6 +611,7 @@ class Supervisor:
                 retries=task.retries,
                 seconds=time.monotonic() - started,
             )
+            self._notify_result(task.done)
         return SupervisionOutcome(
             results,
             degraded=True,
@@ -553,6 +631,8 @@ def supervise(
     config: SupervisorConfig,
     initializer: Callable[[], None] | None = None,
     serial_worker: Callable[..., dict[str, Any]] | None = None,
+    on_lease: Callable[[str, int, float | None], None] | None = None,
+    on_result: Callable[[TaskResult], None] | None = None,
 ) -> SupervisionOutcome:
     """Run ``programs`` under supervision; every program gets a result."""
     return Supervisor(
@@ -561,4 +641,6 @@ def supervise(
         config=config,
         initializer=initializer,
         serial_worker=serial_worker,
+        on_lease=on_lease,
+        on_result=on_result,
     ).run()

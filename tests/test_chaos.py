@@ -116,6 +116,35 @@ class TestFaultSpecs:
         assert spec.matches("Beta", "cache", 1)
         assert not spec.matches("Beta", "verify", 1)
 
+    def test_durability_kinds_have_their_own_sites(self):
+        assert FaultSpec.parse("X:corrupt").site == "cache"
+        assert FaultSpec.parse("X:diskfull").site == "disk"
+        assert FaultSpec.parse("X:sigkill").site == "journal"
+
+    def test_durability_kinds_round_trip(self):
+        text = "X:corrupt@1;Y:diskfull@*;Z:sigkill@2"
+        assert FaultPlan.parse(text).render() == text
+
+    def test_store_fault_counts_attempts_per_program(self):
+        plan = FaultPlan.parse("X:torn@2;Y:corrupt@1")
+        assert plan.store_fault("X") is None  # attempt 1: not yet
+        assert plan.store_fault("Y") == "corrupt"  # independent counter
+        assert plan.store_fault("X") == "torn"  # attempt 2 fires
+        assert plan.store_fault("X") is None
+
+    def test_disk_fault_counts_attempts_per_write_path(self):
+        import errno
+
+        plan = FaultPlan.parse("X:diskfull@1")
+        with pytest.raises(OSError) as excinfo:
+            plan.disk_fault("X", "journal")
+        assert excinfo.value.errno == errno.ENOSPC
+        # The cache write path has its own attempt counter, so the
+        # same @1 spec fires there too — whichever path comes first.
+        with pytest.raises(OSError):
+            plan.disk_fault("X", "cache")
+        plan.disk_fault("X", "journal")  # attempt 2: no fault
+
     @pytest.mark.parametrize(
         "bad", ["", "no-colon", "X:frobnicate", "X:crash@zero", "X:crash@0", ":crash"]
     )

@@ -144,8 +144,17 @@ class TestCache:
     def test_no_cache_never_touches_disk(self, fake_program, tmp_path):
         info, __ = fake_program
         cache_dir = tmp_path / "cache"
-        sweep([info], jobs=1, cache=False, cache_dir=cache_dir)
+        sweep([info], jobs=1, cache=False, cache_dir=cache_dir, journal=False)
         assert not cache_dir.exists()
+
+    def test_no_cache_writes_journal_but_no_entries(self, fake_program, tmp_path):
+        # cache=False still journals (resume must work with the cache
+        # off) but must never write cache *entries*.
+        info, __ = fake_program
+        cache_dir = tmp_path / "cache"
+        result = sweep([info], jobs=1, cache=False, cache_dir=cache_dir)
+        assert Path(result.journal_path).is_file()
+        assert list(cache_dir.glob("*.json")) == []
 
     def test_colliding_program_names_get_distinct_files(self, tmp_path):
         # "CAS-lock" and "CAS lock" slugify to the same readable stem;
