@@ -55,6 +55,7 @@ import sys
 def _render_diagnostics(args: argparse.Namespace, sweep, tool: str) -> int:
     """Shared lint/race driver: sweep, select, render, exit-code."""
     from .analysis import (
+        SelectorError,
         Severity,
         render_json,
         render_text,
@@ -70,7 +71,13 @@ def _render_diagnostics(args: argparse.Namespace, sweep, tool: str) -> int:
     except Exception as exc:  # noqa: BLE001 - analysis crash is infra, not usage
         print(f"{tool}: internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 3
-    diagnostics = select(reports, codes=args.select or None)
+    try:
+        diagnostics = select(reports, codes=args.select or None)
+    except SelectorError as exc:
+        # A selector that matches nothing is a usage error (exit 2), not
+        # a deceptively clean report.
+        print(f"{tool}: {exc}", file=sys.stderr)
+        return 2
     if args.format == "json":
         print(render_json(diagnostics, tool=tool))
     else:
@@ -96,6 +103,64 @@ def _run_live(args: argparse.Namespace) -> int:
     from .analysis import live_registry
 
     return _render_diagnostics(args, live_registry, "fcsl-live")
+
+
+def _run_deps(args: argparse.Namespace) -> int:
+    """``repro deps``: graph dump for one program, or the FCSL06x
+    dependency-hygiene sweep over the registry."""
+    if not args.graph_program:
+        if args.format == "dot":
+            print(
+                "fcsl-deps: --format dot needs a PROGRAM to dump "
+                "(dot renders one program's graph)",
+                file=sys.stderr,
+            )
+            return 2
+        from .analysis import deps_registry
+
+        return _render_diagnostics(args, deps_registry, "fcsl-deps")
+
+    from .analysis import render_text
+    from .structures.registry import program
+
+    try:
+        info = program(args.graph_program)
+    except KeyError as exc:
+        print(f"fcsl-deps: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        from .analysis.deps import analyze_obligations
+        from .engine.depgraph import depgraph_from_analysis
+
+        analysis = analyze_obligations(info)
+        graph = depgraph_from_analysis(info, analysis)
+    except Exception as exc:  # noqa: BLE001 - analysis crash is infra
+        print(
+            f"fcsl-deps: internal error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 3
+    diagnostics = analysis.diagnostics()
+    if diagnostics:
+        print(render_text(diagnostics, tool="fcsl-deps"), file=sys.stderr)
+    if graph is None:
+        print(
+            f"fcsl-deps: {info.name}: per-obligation fingerprints are "
+            "unusable (see diagnostics above); the program verifies fully",
+            file=sys.stderr,
+        )
+        return 3
+    if args.format == "dot":
+        text = graph.to_dot()
+    else:
+        text = json.dumps(graph.to_dict(), indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"fcsl-deps: wrote {args.format} graph to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
 
 
 def _dump_witnesses(result, directory: str, tool: str) -> None:
@@ -160,11 +225,17 @@ def _run_verify(args: argparse.Namespace) -> int:
                 journal=not args.no_journal,
                 resume=args.resume,
                 split_obligations=args.split_obligations,
+                incremental=args.incremental,
                 max_rss_mb=args.max_rss,
                 max_disk_mb=args.max_disk,
             )
     except KeyError as exc:
         print(f"repro-verify: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Flag combinations the engine rejects (e.g. --incremental with
+        # --split-obligations or --no-cache) are usage errors.
+        print(f"repro-verify: {exc}", file=sys.stderr)
         return 2
     if args.trace:
         from .obs.export import write_chrome_trace
@@ -343,10 +414,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command")
 
-    def add_diag_options(p: argparse.ArgumentParser) -> None:
+    def add_diag_options(
+        p: argparse.ArgumentParser,
+        formats: tuple[str, ...] = ("text", "json"),
+    ) -> None:
         p.add_argument(
             "--format",
-            choices=("text", "json"),
+            choices=formats,
             default="text",
             help="output renderer (default: text)",
         )
@@ -384,6 +458,28 @@ def main(argv: list[str] | None = None) -> int:
         "by design)",
     )
     add_diag_options(live)
+
+    deps = sub.add_parser(
+        "deps",
+        help="fcsl-deps: dump one program's per-obligation dependency "
+        "graph (JSON/dot), or sweep the registry for dependency-hygiene "
+        "diagnostics (FCSL060+)",
+    )
+    deps.add_argument(
+        "graph_program",
+        nargs="?",
+        default=None,
+        metavar="PROGRAM",
+        help="registry program whose dependency graph to dump; omit to "
+        "run the diagnostics sweep instead",
+    )
+    add_diag_options(deps, formats=("text", "json", "dot"))
+    deps.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the graph dump to FILE instead of stdout",
+    )
 
     verify = sub.add_parser(
         "verify", help="run the registry verification sweep (parallel, cached)"
@@ -476,6 +572,14 @@ def main(argv: list[str] | None = None) -> int:
         help="decompose each program into per-obligation-category work "
         "units: timeouts, retries, quarantine and journal replay then "
         "apply per (program, group) instead of per program",
+    )
+    verify.add_argument(
+        "--incremental",
+        action="store_true",
+        help="re-verify only obligations whose static dependency cone "
+        "contains an edit (fcsl-deps): fresh obligations replay from "
+        "per-obligation fingerprints in the cache entry; requires the "
+        "cache, mutually exclusive with --split-obligations",
     )
     verify.add_argument(
         "--max-rss",
@@ -571,6 +675,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_race(args)
     if args.command == "live":
         return _run_live(args)
+    if args.command == "deps":
+        return _run_deps(args)
     if args.command == "verify":
         return _run_verify(args)
     if args.command == "profile":

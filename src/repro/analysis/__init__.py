@@ -18,9 +18,17 @@ Entry points:
   obligations.
 """
 
+from .deps import (
+    Definition,
+    DependencyAnalysis,
+    DependencyCone,
+    analyze_obligations,
+    deps_registry,
+)
 from .diagnostics import (
     CODES,
     Diagnostic,
+    SelectorError,
     Severity,
     render_json,
     render_text,
@@ -50,18 +58,24 @@ from .runner import lint_registry, lint_target
 
 __all__ = [
     "CODES",
+    "Definition",
+    "DependencyAnalysis",
+    "DependencyCone",
     "Diagnostic",
     "FAIRNESS_CLAIMS",
     "Footprint",
     "LockOrderGraph",
     "ProgramInterference",
+    "SelectorError",
     "Severity",
     "StaticPrepass",
     "action_footprint",
     "analyze_config",
+    "analyze_obligations",
     "analyze_program",
     "build_lock_order",
     "check_fairness",
+    "deps_registry",
     "fairness_issues",
     "find_live_cycles",
     "footprints_conflict",

@@ -258,6 +258,54 @@ CODES: dict[str, tuple[Severity, str, str]] = {
         "bounded exploration confirmed the declared fairness claim: no "
         "bypass or livelock cycle exists within the explored bounds",
     ),
+    # -- dependency hygiene (fcsl-deps) -------------------------------------------
+    "FCSL060": (
+        Severity.WARNING,
+        "mutable-global-dependency",
+        "an obligation reads a mutable module global; its contents are "
+        "invisible to content fingerprints, so edits to it cannot "
+        "trigger re-verification",
+    ),
+    "FCSL061": (
+        Severity.WARNING,
+        "escaped-dependency-closure",
+        "an obligation's dependency closure reaches a definition outside "
+        "the repro package; its source is not covered by any fingerprint",
+    ),
+    "FCSL062": (
+        Severity.INFO,
+        "dynamic-dispatch-fallback",
+        "an obligation dispatches dynamically (getattr/exec or an "
+        "unindexable definition); a conservative whole-module dependency "
+        "edge was recorded in its place",
+    ),
+    "FCSL063": (
+        Severity.INFO,
+        "protocol-client-cycle",
+        "the definition-level dependency graph has a cycle between "
+        "modules (typically a protocol and its client spec); edits to "
+        "either side re-verify both",
+    ),
+    "FCSL064": (
+        Severity.INFO,
+        "monolithic-dependency-cone",
+        "an obligation's dependency cone spans every tracked definition "
+        "of its program; incremental re-verification cannot skip it",
+    ),
+    "FCSL065": (
+        Severity.WARNING,
+        "ambiguous-obligation-name",
+        "two obligations of one program share a name; per-obligation "
+        "fingerprints collide and the program falls back to full "
+        "re-verification",
+    ),
+    "FCSL066": (
+        Severity.INFO,
+        "deps-analysis-incomplete",
+        "the dependency walk exhausted its budget (or obligation "
+        "collection failed); the obligation conservatively keys on the "
+        "whole-program fingerprint",
+    ),
 }
 
 
@@ -338,6 +386,21 @@ def loc_of(obj: Any) -> SourceLoc | None:
 _CODE_RE = re.compile(r"^FCSL\d+$")
 
 
+class SelectorError(ValueError):
+    """A ``--select`` selector that cannot match any known code.
+
+    Raised instead of silently matching nothing: ``--select FCSL07x``
+    after a typo used to produce an empty (deceptively clean) report.
+    The CLI maps this to exit code 2 with the message below.
+    """
+
+
+def _known_blocks() -> str:
+    """Human summary of the populated code blocks, for error messages."""
+    prefixes = sorted({code[:6] for code in CODES})
+    return ", ".join(f"{p}x" for p in prefixes)
+
+
 def _selector_matcher(selector: str) -> Callable[[str], bool]:
     """One selector -> a code predicate.  Forms (shared verbatim by every
     tool that takes ``--select``):
@@ -379,7 +442,15 @@ def select(
     diagnostics = list(diagnostics)
     if not codes:
         return diagnostics
-    matchers = [_selector_matcher(c) for c in codes]
+    matchers = []
+    for selector in codes:
+        matcher = _selector_matcher(selector)
+        if not any(matcher(code) for code in CODES):
+            raise SelectorError(
+                f"selector {selector!r} matches no known diagnostic code; "
+                f"known blocks: {_known_blocks()}"
+            )
+        matchers.append(matcher)
     return [d for d in diagnostics if any(m(d.code) for m in matchers)]
 
 

@@ -45,6 +45,14 @@ from .specs import probe_self_framed
 class StaticPrepass:
     """Lint-fact store consulted by ``check_stability``."""
 
+    #: fcsl-deps: the dependency walker must not traverse this memo.
+    #: Its contents are derived facts over already-fingerprinted sources
+    #: — but they accumulate across a shared verification process, so a
+    #: cone that included them would depend on which *sibling* programs
+    #: happened to run first (nondeterministic fingerprints, spurious
+    #: re-verification).
+    __deps_opaque__ = True
+
     def __init__(self) -> None:
         #: (conc id, states fingerprint) -> env-closure sweep verdict
         self._sweeps: dict[tuple, bool] = {}

@@ -215,6 +215,113 @@ def obligation_filter() -> frozenset | None:
     return frozenset(part for part in text.split(",") if part)
 
 
+# -- the obligation-name filter -----------------------------------------------------------
+#
+# Incremental re-verification (repro.engine, ``verify --incremental``)
+# re-runs only the obligations whose per-obligation dependency
+# fingerprint changed.  The selection is by obligation *name*: a unit
+# worker installs the name filter around one run_verifier call, so
+# ReportBuilder executes (and records) exactly the stale obligations and
+# the engine splices the cached results back in plan order.  Same
+# process-global + env-mirror discipline as the category filter above;
+# names may contain spaces and parentheses, so the env mirror joins on
+# an ASCII unit separator that registry obligation names never contain.
+
+_OBLIGATION_NAMES_ENV = "REPRO_OBLIGATION_NAMES"
+_OBLIGATION_NAMES_SEP = "\x1f"
+_OBLIGATION_NAMES: frozenset | None = None
+
+
+def set_obligation_name_filter(names) -> None:
+    """Restrict ReportBuilder to obligations named in ``names`` (``None``
+    clears).  Obligations outside the filter are neither executed nor
+    recorded — the basis of incremental re-verification."""
+    global _OBLIGATION_NAMES
+    if names is None:
+        _OBLIGATION_NAMES = None
+        os.environ.pop(_OBLIGATION_NAMES_ENV, None)
+    else:
+        _OBLIGATION_NAMES = frozenset(names)
+        os.environ[_OBLIGATION_NAMES_ENV] = _OBLIGATION_NAMES_SEP.join(
+            sorted(_OBLIGATION_NAMES)
+        )
+
+
+def obligation_name_filter() -> frozenset | None:
+    """The active name filter (module global, else the env mirror)."""
+    if _OBLIGATION_NAMES is not None:
+        return _OBLIGATION_NAMES
+    text = os.environ.get(_OBLIGATION_NAMES_ENV, "")
+    if not text:
+        return None
+    return frozenset(text.split(_OBLIGATION_NAMES_SEP))
+
+
+# -- the obligation plan hook -------------------------------------------------------------
+#
+# The fcsl-deps static analysis needs every obligation's *callable*
+# (name, category, fn closure) without paying for its execution: the
+# closure is what the dependency walker fingerprints.  With a plan sink
+# installed, ReportBuilder.obligation records the triple and returns a
+# dummy discharged result instead of running fn — the verifier's setup
+# code (worlds, model states, scenarios) still executes, so the
+# collected closures capture exactly the objects a real run would.
+# Thread-local, like the skip/witness scopes: a collecting thread never
+# perturbs a concurrently verifying one.
+
+_PLAN_SINK = threading.local()
+
+
+class ObligationPlan:
+    """One planned obligation: what a verifier *would* run."""
+
+    __slots__ = ("program", "name", "category", "fn")
+
+    def __init__(self, program: str, name: str, category: str, fn):
+        self.program = program
+        self.name = name
+        self.category = category
+        self.fn = fn
+
+
+def _plan_sink():
+    return getattr(_PLAN_SINK, "sink", None)
+
+
+def _plan_executes() -> bool:
+    return getattr(_PLAN_SINK, "execute", False)
+
+
+class collecting_obligations:
+    """Context manager installing a plan sink; iterate the instance (or
+    read ``.plan``) for the :class:`ObligationPlan` list collected while
+    it was active.
+
+    ``execute=True`` records the plan *and* runs every obligation
+    normally (collect-while-verifying): the engine's cold incremental
+    work units use it to get the real report and the dependency-walk
+    roots out of a single verifier run instead of two.
+    """
+
+    def __init__(self, execute: bool = False):
+        self.plan: list[ObligationPlan] = []
+        self._execute = execute
+
+    def __enter__(self) -> "collecting_obligations":
+        self._previous = _plan_sink()
+        self._previous_execute = _plan_executes()
+        _PLAN_SINK.sink = self.plan
+        _PLAN_SINK.execute = self._execute
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _PLAN_SINK.sink = self._previous
+        _PLAN_SINK.execute = self._previous_execute
+
+    def __iter__(self):
+        return iter(self.plan)
+
+
 # -- the explorer cap scale ---------------------------------------------------------------
 #
 # The resource watchdog (repro.engine.watchdog) shrinks exploration as
@@ -462,11 +569,23 @@ class ReportBuilder:
     ) -> ObligationResult:
         if category not in CATEGORIES:
             raise ValueError(f"unknown obligation category {category!r}")
+        sink = _plan_sink()
+        if sink is not None:
+            # Plan collection (fcsl-deps): record the closure.  In
+            # execute mode the obligation also runs normally below.
+            sink.append(ObligationPlan(self._report.program, name, category, fn))
+            if not _plan_executes():
+                return ObligationResult(name, category, True, [], 0.0)
         selected = obligation_filter()
         if selected is not None and category not in selected:
             # Out-of-group obligation under a work-unit filter: neither
             # executed nor recorded — another unit owns it.  The dummy
             # result is returned (not appended) for signature parity.
+            return ObligationResult(name, category, True, [], 0.0)
+        names = obligation_name_filter()
+        if names is not None and name not in names:
+            # Fresh-by-fingerprint obligation under an incremental unit:
+            # its cached result is spliced back in by the engine.
             return ObligationResult(name, category, True, [], 0.0)
         scope: list[str] = []
         stack = _skip_stack()

@@ -173,12 +173,56 @@ class ObligationCache:
         (corrupt entries are quarantined as a side effect)."""
         return self.load_verified(program, fingerprint)[0]
 
+    def load_incremental(
+        self, program: str
+    ) -> tuple[VerificationReport, dict[str, str]] | None:
+        """The entry's report plus its per-obligation fingerprint map,
+        *ignoring* the top-level program fingerprint.
+
+        This is the incremental-reverification read path (fcsl-deps):
+        after an edit the whole-program fingerprint misses by design, but
+        obligations whose dependency cone excludes the edit still carry
+        matching per-obligation fingerprints and may be replayed.  Schema,
+        program name and checksum are still required — only the
+        fingerprint comparison is deferred to the caller.  Entries from
+        schema v3 and earlier carry no ``obligations`` map and miss.
+        """
+        path = self.path_for(program)
+        if not path.is_file():
+            return None
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(data, dict):
+                return None
+            if data.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            if data.get("program") != program:
+                return None
+            if data.get("checksum") != report_checksum(data.get("report")):
+                return None
+            obligations = data.get("obligations")
+            if not isinstance(obligations, dict) or not obligations:
+                return None
+            if not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in obligations.items()
+            ):
+                return None
+            report = VerificationReport.from_dict(data["report"])
+        except Exception:  # noqa: BLE001 - any trouble is a plain miss;
+            # the verified load path owns quarantining.
+            return None
+        if report.program != program:
+            return None
+        return report, dict(obligations)
+
     def store(
         self,
         program: str,
         fingerprint: str,
         report: VerificationReport,
         meta: dict[str, Any] | None = None,
+        obligations: dict[str, str] | None = None,
     ) -> Path:
         """Write (atomically: temp file + ``os.replace``) and return the path.
 
@@ -198,6 +242,7 @@ class ObligationCache:
             "fingerprint": fingerprint,
             "created": time.time(),
             "meta": meta or {},
+            "obligations": obligations or {},
             "checksum": report_checksum(report_dict),
             "report": report_dict,
         }
@@ -268,12 +313,26 @@ class ObligationCache:
 
         Only files that parse as schema-versioned entries are touched:
         a user pointing ``--cache-dir`` at a directory that also holds
-        unrelated ``*.json`` files must not lose them.
+        unrelated ``*.json`` files must not lose them.  The cache's own
+        bookkeeping directories — the ``corrupt/`` quarantine and the
+        sweep ``journal/`` — *are* ours and are removed too (previously
+        they survived a clear and kept resurrecting stale state); each
+        quarantined entry and journal file counts toward the total.
         """
+        import shutil
+
+        from .journal import JOURNAL_DIRNAME
+
         removed = 0
-        if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                if self._is_entry(path):
-                    path.unlink(missing_ok=True)
-                    removed += 1
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*.json"):
+            if self._is_entry(path):
+                path.unlink(missing_ok=True)
+                removed += 1
+        for subdir in (self.corrupt_dir, self.root / JOURNAL_DIRNAME):
+            if not subdir.is_dir():
+                continue
+            removed += sum(1 for p in subdir.rglob("*") if p.is_file())
+            shutil.rmtree(subdir, ignore_errors=True)
         return removed

@@ -63,6 +63,7 @@ from pathlib import Path
 from ..core.verify import (
     CATEGORIES,
     VerificationReport,
+    collecting_obligations,
     explore_jobs_default,
     liveness_default,
     por_default,
@@ -70,6 +71,7 @@ from ..core.verify import (
     set_explore_jobs_default,
     set_liveness_default,
     set_obligation_filter,
+    set_obligation_name_filter,
     set_por_default,
     set_prepass,
     set_symmetry_default,
@@ -78,6 +80,7 @@ from ..core.verify import (
 from ..obs import tracer as obs_tracer
 from ..structures.registry import ProgramInfo, all_programs, registry_programs
 from .cache import ObligationCache, default_cache_dir
+from .depgraph import DepGraph, build_depgraph
 from .faults import FaultPlan, maybe_inject, plan_installed
 from .fingerprint import program_fingerprint
 from .journal import SweepJournal, journal_path, load_image
@@ -124,6 +127,11 @@ class ProgramOutcome:
     #: Units whose verdict was replayed from the sweep journal instead
     #: of re-executed (``--resume`` after a crash).
     replayed_units: int = 0
+    #: Incremental mode (fcsl-deps): how many obligations this run
+    #: actually re-executed (the rest replayed from per-obligation
+    #: fingerprints).  ``None`` = the program did not verify
+    #: incrementally (full run, cache hit, or quarantine).
+    reverified: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -159,7 +167,21 @@ class ProgramOutcome:
             "error": self.error,
             "units": self.units,
             "replayed_units": self.replayed_units,
+            "reverified": self.reverified,
         }
+
+
+@dataclass
+class _IncrementalPlan:
+    """Parent-side bookkeeping for one incrementally-verified program:
+    the dependency graph, the plan-ordered obligation names, the stale
+    subset that must re-execute, and the cached results the fresh rest
+    replays from."""
+
+    graph: DepGraph
+    order: list[str]
+    stale: set[str]
+    cached: dict[str, Any]
 
 
 @dataclass
@@ -193,6 +215,13 @@ class SweepResult:
     def replayed(self) -> int:
         """Total units replayed from the journal instead of re-executed."""
         return sum(o.replayed_units for o in self.outcomes)
+
+    @property
+    def reverified(self) -> int | None:
+        """Total obligations re-executed across incrementally-verified
+        programs (``None`` when no program verified incrementally)."""
+        counts = [o.reverified for o in self.outcomes if o.reverified is not None]
+        return sum(counts) if counts else None
 
     def quarantined(self) -> list[ProgramOutcome]:
         """Outcomes with no verdict (crashed/timed out/raised/interrupted)."""
@@ -229,6 +258,7 @@ class SweepResult:
             "warnings": list(self.warnings),
             "journal": self.journal_path,
             "replayed_units": self.replayed,
+            "reverified": self.reverified,
             "programs": [o.to_dict() for o in self.outcomes],
         }
 
@@ -242,6 +272,8 @@ class SweepResult:
         for o in self.outcomes:
             counts = o.report.counts_by_category() if o.report else {}
             source = "hit" if o.cached else ("jrnl" if o.replayed else "miss")
+            if o.reverified is not None and not o.cached:
+                source = "inc"
             lines.append(
                 f"{o.name:<15} {o.status:>7} "
                 + " ".join(f"{counts.get(c, 0):>5}" for c in CATEGORIES)
@@ -254,6 +286,8 @@ class SweepResult:
         )
         if self.replayed:
             summary += f", {self.replayed} unit(s) replayed from journal"
+        if self.reverified is not None:
+            summary += f", {self.reverified} obligation(s) re-verified"
         lines.append(summary)
         for o in self.outcomes:
             if o.report is not None:
@@ -403,7 +437,7 @@ def _verify_one(task: Any, attempt: int = 1) -> dict[str, Any]:
     unit = task if isinstance(task, WorkUnit) else WorkUnit(task)
     announce(unit.name)
     maybe_inject(unit.program, attempt)
-    if unit.group is not None:
+    if unit.group is not None or unit.names is not None:
         maybe_inject(unit.name, attempt)
     if obs_tracer.local_session_needed():
         # Pool worker under a tracing parent: collect a local trace and
@@ -418,6 +452,7 @@ def _verify_one(task: Any, attempt: int = 1) -> dict[str, Any]:
 def _verify_payload(unit: WorkUnit) -> dict[str, Any]:
     info = unit.info
     started = time.perf_counter()
+    collected: list | None = None
     try:
         if unit.group is not None:
             # Obligation-group unit: the verifier runs with the
@@ -429,6 +464,23 @@ def _verify_payload(unit: WorkUnit) -> dict[str, Any]:
                 report = info.run_verifier()
             finally:
                 set_obligation_filter(None)
+        elif unit.names is not None:
+            # Incremental unit (fcsl-deps): only the stale obligations
+            # execute; the fresh ones replay from their cached
+            # per-obligation fingerprints in the parent's merge.
+            set_obligation_name_filter(unit.names)
+            try:
+                report = info.run_verifier()
+            finally:
+                set_obligation_name_filter(None)
+        elif unit.collect_deps:
+            # Cold incremental entry: record the obligation plan while
+            # the verifier runs for real, then walk the dependency cones
+            # right here — one setup pays for both the verdicts and the
+            # per-obligation fingerprint map the next run diffs against.
+            with collecting_obligations(execute=True) as collector:
+                report = info.run_verifier()
+            collected = list(collector)
         else:
             report = info.run_verifier()
     except Exception as exc:  # noqa: BLE001 - structured, not pickled
@@ -443,6 +495,17 @@ def _verify_payload(unit: WorkUnit) -> dict[str, Any]:
             "seconds": time.perf_counter() - started,
             "report": report.to_dict(),
         }
+        if unit.collect_deps:
+            # Best-effort: a failed walk must never cost the verdict —
+            # the entry is then stored without a map and the next
+            # incremental run backfills it on the cache hit.
+            try:
+                graph = build_depgraph(info, plan=collected)
+            except Exception:  # noqa: BLE001 - analysis trouble only
+                graph = None
+            if graph is not None:
+                payload["obligations"] = graph.fingerprints
+            payload["seconds"] = time.perf_counter() - started
     payload["group"] = unit.group
     tr = obs_tracer.current()
     if tr is not None:
@@ -602,6 +665,7 @@ def sweep(
     journal: bool = True,
     resume: bool = False,
     split_obligations: bool = False,
+    incremental: bool = False,
     max_rss_mb: float | None = None,
     max_disk_mb: float | None = None,
 ) -> SweepResult:
@@ -645,7 +709,19 @@ def sweep(
     ``split_obligations`` decomposes each program into per-obligation-
     category work units (see :mod:`repro.engine.queue`): timeout/retry/
     quarantine and journal replay then apply per group, and the partial
-    reports are merged back per program.  ``max_rss_mb``/``max_disk_mb``
+    reports are merged back per program.
+
+    ``incremental`` (fcsl-deps, ``repro verify --incremental``) keys
+    replay per *obligation*: a program whose whole-program fingerprint
+    misses has its dependency graph built
+    (:func:`repro.engine.depgraph.build_depgraph`) and compared against
+    the per-obligation fingerprints stored in its cache entry — only
+    obligations whose dependency cone contains the edit re-execute, the
+    rest replay from the entry.  Every fall-back (no entry, unusable
+    analysis, pre-v4 entry) degrades to the full verification the flag
+    would have run anyway; verdicts are gated for equality with a cold
+    run by tests/test_incremental.py.  Requires the cache and is
+    mutually exclusive with ``split_obligations``.  ``max_rss_mb``/``max_disk_mb``
     arm the resource watchdog (soft budgets, MiB): at 70% parallelism is
     shed, at 85% explorer caps shrink (new cache stores stop, the sweep
     is marked degraded), at 100% the sweep checkpoints — pending units
@@ -663,6 +739,16 @@ def sweep(
     store = ObligationCache(cache_dir) if cache else None
     cache_root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     split = bool(split_obligations)
+    if incremental and split:
+        raise ValueError(
+            "incremental and split_obligations are mutually exclusive: "
+            "incremental units are already per-obligation slices"
+        )
+    if incremental and store is None:
+        raise ValueError(
+            "incremental re-verification needs the obligation cache "
+            "(it replays fresh obligations from it); drop --no-cache"
+        )
     program_units = {info.name: units_for(info, split=split) for info in programs}
 
     outcomes: dict[str, ProgramOutcome] = {}
@@ -781,9 +867,141 @@ def sweep(
                         payload={"report": hit.to_dict()},
                         seconds=elapsed, via="cache",
                     )
+                if incremental and store.load_incremental(info.name) is None:
+                    # The hit entry predates per-obligation fingerprints
+                    # (stored by a non-incremental sweep): backfill the
+                    # map now — analysis only, no re-verification — so
+                    # the *next* edit re-verifies incrementally.
+                    try:
+                        graph = build_depgraph(info)
+                    except Exception:  # noqa: BLE001 - best-effort backfill
+                        graph = None
+                    if graph is not None:
+                        try:
+                            store.store(
+                                info.name,
+                                fingerprint,
+                                hit,
+                                meta={"seconds": elapsed, "incremental": True},
+                                obligations=graph.fingerprints,
+                            )
+                        except Exception as exc:  # noqa: BLE001
+                            warnings.append(
+                                f"cache store failed for {info.name!r}: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
                 continue
             if tr is not None:
                 tr.instant("cache:miss", "cache", program=info.name)
+
+        # -- phase 3b: incremental planning (fcsl-deps) ------------------------
+        # For each program still pending with a *prior* incremental
+        # entry, build its dependency graph and compare per-obligation
+        # fingerprints: fresh obligations replay, stale ones become one
+        # incremental work unit.  Cold entries skip parent-side analysis
+        # entirely — their work unit collects the plan while it
+        # verifies and ships the fingerprint map home in its payload,
+        # so a cold incremental sweep costs one verifier setup, not two.
+        inc_graphs: dict[str, DepGraph] = {}
+        inc_plans: dict[str, _IncrementalPlan] = {}
+        if incremental:
+            for info in programs:
+                if info.name in outcomes:
+                    continue
+                if info.name in unit_records or any(
+                    u.name in unit_records for u in program_units[info.name]
+                ):
+                    continue
+                entry = store.load_incremental(info.name)
+                if entry is None:
+                    # Cold entry: full verify, the unit walks the cones.
+                    program_units[info.name] = [
+                        WorkUnit(info, collect_deps=True)
+                    ]
+                    continue
+                t0 = time.perf_counter()
+                try:
+                    graph = build_depgraph(info)
+                except Exception as exc:  # noqa: BLE001 - analysis trouble
+                    # must never cost a verdict: fall back to full verify.
+                    warnings.append(
+                        f"dependency analysis failed for {info.name!r} "
+                        f"({type(exc).__name__}: {exc}); verifying fully"
+                    )
+                    program_units[info.name] = [
+                        WorkUnit(info, collect_deps=True)
+                    ]
+                    continue
+                if graph is None:
+                    warnings.append(
+                        f"per-obligation fingerprints unusable for "
+                        f"{info.name!r} (see `repro deps`); verifying fully"
+                    )
+                    continue
+                inc_graphs[info.name] = graph
+                cached_report, cached_fps = entry
+                cached_results = {o.name: o for o in cached_report.obligations}
+                order = [dep.name for dep in graph.analysis.obligations]
+                stale = graph.stale_obligations(cached_fps)
+                # A fresh fingerprint without a cached result to replay
+                # (e.g. a previously-filtered sweep) must still re-run.
+                stale.update(
+                    name for name in order
+                    if name not in stale and name not in cached_results
+                )
+                if tr is not None:
+                    tr.instant(
+                        "deps:plan", "deps", program=info.name,
+                        stale=len(stale), total=len(order),
+                    )
+                if not stale:
+                    merged = VerificationReport(info.name)
+                    merged.obligations.extend(
+                        cached_results[name] for name in order
+                    )
+                    elapsed = time.perf_counter() - t0
+                    outcomes[info.name] = ProgramOutcome(
+                        info.name,
+                        merged,
+                        fingerprints[info.name],
+                        True,
+                        elapsed,
+                        status="ok" if merged.ok else "failed",
+                        units=len(program_units[info.name]),
+                        reverified=0,
+                    )
+                    if store is not None and not stop_caching:
+                        try:
+                            # Refresh the entry under the new program
+                            # fingerprint so the next run is a plain hit.
+                            store.store(
+                                info.name,
+                                fingerprints[info.name],
+                                merged,
+                                meta={"seconds": elapsed, "incremental": True},
+                                obligations=graph.fingerprints,
+                            )
+                        except Exception as exc:  # noqa: BLE001
+                            warnings.append(
+                                f"cache store failed for {info.name!r}: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                    if sj is not None:
+                        sj.unit_done(
+                            info.name, info.name, None, "report",
+                            payload={"report": merged.to_dict()},
+                            seconds=elapsed, via="incremental",
+                        )
+                    continue
+                inc_plans[info.name] = _IncrementalPlan(
+                    graph=graph,
+                    order=order,
+                    stale=stale,
+                    cached=cached_results,
+                )
+                program_units[info.name] = [
+                    WorkUnit(info, names=frozenset(stale))
+                ]
 
         # -- phase 4: dispatch what remains ------------------------------------
         pending_units: list[WorkUnit] = []
@@ -817,6 +1035,11 @@ def sweep(
             payload = None
             if result.status == "report" and result.payload is not None:
                 payload = {"report": result.payload.get("report")}
+                shipped = result.payload.get("obligations")
+                if shipped is not None:
+                    # Collect-while-verifying units journal their
+                    # fingerprint map too, so --resume stores it.
+                    payload["obligations"] = shipped
             sj.unit_done(
                 result.name, unit.program, unit.group, result.status,
                 payload=payload, error=result.error, retries=result.retries,
@@ -915,6 +1138,8 @@ def sweep(
             if info.name in outcomes:
                 continue
             fingerprint = fingerprints[info.name]
+            inc_plan = inc_plans.get(info.name)
+            reverified: int | None = None
             whole = unit_records.get(info.name)
             if whole is not None and whole.unit.group is None:
                 records = [whole]
@@ -923,6 +1148,57 @@ def sweep(
                     unit_records.get(u.name) or UnitRecord(u, "crashed")
                     for u in program_units[info.name]
                 ]
+            if inc_plan is not None and records[0].status == "report":
+                # Incremental merge: splice the unit's fresh verdicts and
+                # the entry's cached verdicts back into plan order.  A
+                # stale obligation the unit did not report (the plan
+                # drifted between analysis and execution) voids the
+                # splice — fall back to infra quarantine, never to a
+                # partial verdict.
+                record = records[0]
+                partial = VerificationReport.from_dict(
+                    record.payload["report"]
+                )
+                fresh_results = {o.name: o for o in partial.obligations}
+                missing = [
+                    name for name in inc_plan.stale
+                    if name not in fresh_results
+                ]
+                if missing:
+                    record = UnitRecord(
+                        record.unit,
+                        "error",
+                        error={
+                            "type": "IncrementalMergeError",
+                            "message": (
+                                "incremental unit produced no verdict for "
+                                f"stale obligation(s) {sorted(missing)}"
+                            ),
+                            "traceback": "",
+                        },
+                        retries=record.retries,
+                        seconds=record.seconds,
+                    )
+                    records = [record]
+                else:
+                    merged_report = VerificationReport(info.name)
+                    merged_report.obligations.extend(
+                        fresh_results[name]
+                        if name in inc_plan.stale
+                        else inc_plan.cached[name]
+                        for name in inc_plan.order
+                    )
+                    records = [
+                        UnitRecord(
+                            record.unit,
+                            "report",
+                            payload={"report": merged_report.to_dict()},
+                            retries=record.retries,
+                            seconds=record.seconds,
+                            replayed=record.replayed,
+                        )
+                    ]
+                    reverified = len(inc_plan.stale)
             merge = merge_program(info, records)
             outcomes[info.name] = ProgramOutcome(
                 info.name,
@@ -935,8 +1211,29 @@ def sweep(
                 error=merge.error,
                 units=merge.units,
                 replayed_units=merge.replayed_units,
+                reverified=reverified if merge.report is not None else None,
             )
             if merge.report is not None and store is not None and not stop_caching:
+                inc_graph = inc_graphs.get(info.name)
+                obligation_fps = (
+                    inc_graph.fingerprints if inc_graph is not None else None
+                )
+                if obligation_fps is None and incremental:
+                    # Cold-entry full run: the collect-while-verifying
+                    # unit walked the cones in the worker and shipped
+                    # the fingerprint map home in its payload.
+                    for record in records:
+                        shipped = (record.payload or {}).get("obligations")
+                        if shipped:
+                            obligation_fps = dict(shipped)
+                            break
+                if incremental and reverified is None:
+                    # Full run under --incremental: every obligation
+                    # executed (and the stored map, when the walk
+                    # succeeded, arms the next run's incremental replay).
+                    outcomes[info.name].reverified = len(
+                        merge.report.obligations
+                    )
                 try:
                     store.store(
                         info.name,
@@ -948,6 +1245,7 @@ def sweep(
                             "retries": merge.retries,
                             "units": merge.units,
                         },
+                        obligations=obligation_fps,
                     )
                 except Exception as exc:  # noqa: BLE001 - not sweep loss
                     warnings.append(
@@ -1006,6 +1304,7 @@ def run_sweep(
     journal: bool = True,
     resume: bool = False,
     split_obligations: bool = False,
+    incremental: bool = False,
     max_rss_mb: float | None = None,
     max_disk_mb: float | None = None,
 ) -> SweepResult:
@@ -1028,6 +1327,7 @@ def run_sweep(
         journal=journal,
         resume=resume,
         split_obligations=split_obligations,
+        incremental=incremental,
         max_rss_mb=max_rss_mb,
         max_disk_mb=max_disk_mb,
     )

@@ -35,7 +35,9 @@ from ..structures.registry import ProgramInfo
 #: Bump to invalidate every existing cache entry (layout changes).
 #: 2: ObligationResult gained ``witnesses``/``traceback`` fields.
 #: 3: entries gained a per-entry ``checksum`` (self-healing cache).
-CACHE_SCHEMA_VERSION = 3
+#: 4: entries gained per-obligation dependency fingerprints
+#:    (``obligations`` map, fcsl-deps incremental re-verification).
+CACHE_SCHEMA_VERSION = 4
 
 #: Top-level ``repro`` subpackages excluded from the framework digest:
 #: case studies are fingerprinted per program, and the evaluation /

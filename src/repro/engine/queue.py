@@ -26,6 +26,7 @@ record is journaled and replayed on ``--resume``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -52,6 +53,17 @@ class WorkUnit:
     info: ProgramInfo
     #: Obligation-category group, or ``None`` for the whole program.
     group: str | None = None
+    #: Incremental mode (fcsl-deps): the exact obligation *names* this
+    #: unit re-executes — every other obligation of the program replays
+    #: from its cached per-obligation fingerprint.  Mutually exclusive
+    #: with ``group``.
+    names: frozenset[str] | None = None
+    #: Collect-while-verifying (fcsl-deps, cold incremental entries):
+    #: the worker records the obligation plan as it executes and ships
+    #: the per-obligation fingerprint map home in its payload, so the
+    #: verifier's setup runs once instead of once per phase.  Only
+    #: meaningful on whole-program units.
+    collect_deps: bool = False
 
     @property
     def program(self) -> str:
@@ -59,7 +71,17 @@ class WorkUnit:
 
     @property
     def name(self) -> str:
-        """The unit id (supervisor key + journal key)."""
+        """The unit id (supervisor key + journal key).
+
+        Incremental units key on a digest of their sorted stale-name
+        set: deterministic for a given edit, so ``--resume`` after a
+        crash recomputes the same stale set and replays the same unit.
+        """
+        if self.names is not None:
+            digest = hashlib.sha256(
+                "\x1f".join(sorted(self.names)).encode("utf-8")
+            ).hexdigest()[:8]
+            return f"{self.info.name}{UNIT_SEP}inc-{digest}"
         if self.group is None:
             return self.info.name
         return f"{self.info.name}{UNIT_SEP}{self.group}"

@@ -221,7 +221,26 @@ def stable_fingerprint(obj: Any, _seen: frozenset = frozenset()) -> Hashable:
                     cells.append(stable_fingerprint(c.cell_contents, _seen))
                 except ValueError:  # empty cell (not yet bound)
                     cells.append(("empty-cell",))
-        return ("fn", obj.__module__, obj.__qualname__, tuple(cells))
+        # Default arguments carry state exactly like closure cells do —
+        # ``lambda action=action: ...`` is the obligation idiom — so two
+        # same-shaped lambdas over different defaults must not collide.
+        defaults = tuple(
+            stable_fingerprint(d, _seen) for d in obj.__defaults__ or ()
+        )
+        kwdefaults = tuple(
+            sorted(
+                (k, stable_fingerprint(v, _seen))
+                for k, v in (obj.__kwdefaults__ or {}).items()
+            )
+        )
+        return (
+            "fn",
+            obj.__module__,
+            obj.__qualname__,
+            tuple(cells),
+            defaults,
+            kwdefaults,
+        )
     if isinstance(obj, types.BuiltinFunctionType):
         return ("builtin", obj.__module__, obj.__qualname__)
     cls = type(obj)

@@ -86,6 +86,36 @@ def test_render_and_select():
     assert render_text([]).startswith("fcsl-lint: clean")
 
 
+def test_select_covers_the_deps_block():
+    # The fcsl-deps codes ride the shared --select grammar: exact,
+    # prefix, wildcard, and range selectors must all reach FCSL06x.
+    ds = [
+        diag("FCSL060", "mutable global", subject="t"),
+        diag("FCSL064", "monolithic cone", subject="t"),
+        diag("FCSL010", "escape", subject="t"),
+    ]
+    assert codes(select(ds, codes=["FCSL060"])) == {"FCSL060"}
+    assert codes(select(ds, codes=["FCSL06"])) == {"FCSL060", "FCSL064"}
+    assert codes(select(ds, codes=["FCSL06x"])) == {"FCSL060", "FCSL064"}
+    assert codes(select(ds, codes=["FCSL060-FCSL066"])) == {
+        "FCSL060",
+        "FCSL064",
+    }
+    assert codes(select(ds, codes=["FCSL060-066"])) == {"FCSL060", "FCSL064"}
+
+
+def test_select_rejects_unpopulated_blocks_helpfully():
+    from repro.analysis import SelectorError
+
+    ds = [diag("FCSL060", "mutable global", subject="t")]
+    with pytest.raises(SelectorError) as err:
+        select(ds, codes=["FCSL09"])
+    # The error names the populated blocks so the user can self-correct.
+    assert "FCSL06x" in str(err.value)
+    with pytest.raises(SelectorError):
+        select(ds, codes=["FCSL075"])
+
+
 # -- protocol rules (FCSL001-005) -------------------------------------------------------------
 
 

@@ -196,7 +196,9 @@ class TestCache:
     def test_clear_removes_only_cache_entries(self, fake_program, tmp_path):
         info, __ = fake_program
         cache_dir = tmp_path / "cache"
-        sweep([info], jobs=1, cache_dir=cache_dir)
+        # journal=False: the journal dir is clear()'s business too and is
+        # covered below — this test isolates the entry/foreign-file rule.
+        sweep([info], jobs=1, cache_dir=cache_dir, journal=False)
         foreign = cache_dir / "notes.json"
         foreign.write_text(json.dumps({"todo": "keep me"}))
         invalid = cache_dir / "broken.json"
@@ -206,6 +208,27 @@ class TestCache:
         assert foreign.exists()
         assert invalid.exists()
         assert not cache.path_for("Fake").exists()
+
+    def test_clear_also_removes_corrupt_and_journal_dirs(self, fake_program, tmp_path):
+        from repro.engine.journal import JOURNAL_DIRNAME
+
+        info, __ = fake_program
+        cache_dir = tmp_path / "cache"
+        sweep([info], jobs=1, cache_dir=cache_dir)  # entry + journal
+        cache = ObligationCache(cache_dir)
+        corrupt = cache.corrupt_dir
+        corrupt.mkdir(parents=True, exist_ok=True)
+        (corrupt / "old-entry.json.1").write_text("{ quarantined")
+        (corrupt / "old-entry.json.2").write_text("{ quarantined again")
+        journal = cache_dir / JOURNAL_DIRNAME
+        journal_files = [p for p in journal.rglob("*") if p.is_file()]
+        assert journal_files, "sweep should have journaled"
+        # 1 entry + 2 quarantined + the journal files, all counted.
+        assert cache.clear() == 1 + 2 + len(journal_files)
+        assert not corrupt.exists()
+        assert not journal.exists()
+        # Idempotent: nothing of ours is left.
+        assert cache.clear() == 0
 
     def test_report_round_trips_through_dict(self):
         report = VerificationReport(

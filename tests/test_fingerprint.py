@@ -122,6 +122,83 @@ class TestStableFingerprint:
         ordered = sorted([("x",), 1, "1", None], key=_sort_key)
         assert sorted(ordered, key=_sort_key) == ordered
 
+    def test_closures_fingerprint_by_captured_content(self):
+        def capture(x):
+            return lambda: x
+
+        assert stable_fingerprint(capture(1)) == stable_fingerprint(capture(1))
+        assert stable_fingerprint(capture(1)) != stable_fingerprint(capture(2))
+
+    def test_default_args_fingerprint_like_cells(self):
+        # The obligation idiom binds loop variables through defaults
+        # (``lambda action=action: ...``), not closures: two same-shaped
+        # lambdas over different defaults must not collide.
+        def capture(x):
+            return lambda v=x: v
+
+        assert stable_fingerprint(capture(1)) == stable_fingerprint(capture(1))
+        assert stable_fingerprint(capture(1)) != stable_fingerprint(capture(2))
+
+        def kw_capture(x):
+            return lambda *, v=x: v
+
+        assert stable_fingerprint(kw_capture(3)) != stable_fingerprint(
+            kw_capture(4)
+        )
+
+    def test_bound_methods_fingerprint_by_function_and_receiver(self):
+        class Probe:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def __repr__(self):
+                return f"Probe({self.tag})"
+
+            def run(self):
+                return self.tag
+
+        assert stable_fingerprint(Probe(1).run) == stable_fingerprint(
+            Probe(1).run
+        )
+        assert stable_fingerprint(Probe(1).run) != stable_fingerprint(
+            Probe(2).run
+        )
+        fp = stable_fingerprint(Probe(1).run)
+        assert fp[0] == "method"
+
+    def test_function_digest_stable_across_processes(self):
+        # The cross-process half of the satellite: a closure with a
+        # default-arg lambda inside must digest identically under
+        # different hash seeds in fresh interpreters.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        script = (
+            "from repro.semantics.interp import stable_digest\n"
+            "def capture(x):\n"
+            "    inner = lambda v=x: v\n"
+            "    return lambda: inner\n"
+            "print(stable_digest(capture((1, 'x'))))\n"
+        )
+        runs = set()
+        for seed in ("0", "1"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(root / "src")
+            env["PYTHONHASHSEED"] = seed
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+                cwd=str(root),
+            )
+            runs.add(proc.stdout.strip())
+        assert len(runs) == 1
+
 
 class TestDedupeSoundness:
     def test_same_terminals_with_and_without_dedupe(self, world, conc):
