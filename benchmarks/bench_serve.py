@@ -1,0 +1,174 @@
+"""repro serve benchmark — the resident daemon must pay for itself.
+
+The headline claim of ISSUE 10: after a one-action edit, a warm daemon's
+incremental re-verify (reload + fingerprint diff + stale-cone verify,
+measured as one watch cycle) completes in a small fraction of a cold
+``repro verify`` of the same program — the gate is **>= 3x** wall-clock.
+
+The cold side is honest: a fresh ``python -m repro verify`` subprocess
+with the cache off, paying interpreter start-up, registry import,
+pre-pass warm-up and the full obligation sweep — exactly what every
+editor integration pays today without the daemon.  The warm side is the
+daemon loop's real path: the same edit, pushed through
+:meth:`Watcher.handle_change` (hot-reload, per-program fingerprint
+diff, incremental stale-cone verify through the session queue).
+
+Artifact: ``benchmarks/out/serve.json`` (committed, uploaded by CI).
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import json
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import DaemonServer, Session, call
+from repro.serve.watcher import Watcher
+
+from conftest import emit
+
+PROGRAM = "Ticketed lock"
+MODULE = "repro.structures.locks.ticketed"
+
+#: The one-action edit, same target as bench_deps.py.
+TARGET = "TicketWriteResAction.step"
+
+#: Warm incremental re-verify must beat cold one-shot by at least this.
+MIN_SPEEDUP = 3.0
+
+COLD_REPEATS = 2
+WARM_REPEATS = 3
+
+
+def _module_path() -> Path:
+    spec = importlib.util.find_spec(MODULE)
+    assert spec is not None and spec.origin is not None
+    return Path(spec.origin)
+
+
+def _insert_comment(path: Path, qualname: str) -> None:
+    """Insert a no-op comment as the first body line of ``qualname``
+    (same behaviour-neutral one-action edit as bench_deps.py)."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text)
+    cls_name, method_name = qualname.split(".")
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == cls_name:
+            for child in node.body:
+                if (
+                    isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and child.name == method_name
+                ):
+                    lines = text.splitlines(keepends=True)
+                    first = child.body[0]
+                    indent = " " * first.col_offset
+                    lines.insert(first.lineno - 1, f"{indent}# bench probe\n")
+                    path.write_text("".join(lines), encoding="utf-8")
+                    return
+    raise AssertionError(f"{qualname} not found in {path}")
+
+
+def _cold_oneshot_seconds() -> float:
+    """Best-of-N wall clock of a fully cold one-shot verify subprocess."""
+    best = None
+    for _ in range(COLD_REPEATS):
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "verify",
+                "--program",
+                PROGRAM,
+                "--no-cache",
+                "--no-journal",
+                "--jobs",
+                "1",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        elapsed = time.perf_counter() - started
+        assert proc.returncode == 0, proc.stderr
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_serve_benchmark(out_dir):
+    cache_dir = out_dir / "serve-cache"
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    path = _module_path()
+    original = path.read_text(encoding="utf-8")
+
+    session = Session(cache_dir=str(cache_dir))
+    server = DaemonServer(session, socket_path=out_dir / "serve-bench.sock")
+    server.start()
+    watcher = Watcher(server, out=None)
+    warm_runs: list[dict] = []
+    try:
+        # populate the resident state + obligation cache through the daemon
+        frame = call(
+            "verify",
+            {"programs": [PROGRAM]},
+            socket_path=server.socket_path,
+            timeout=600,
+        )
+        assert frame["exit_code"] == 0, frame
+        session.refresh_fingerprints()
+
+        cold_seconds = _cold_oneshot_seconds()
+
+        for _ in range(WARM_REPEATS):
+            try:
+                _insert_comment(path, TARGET)
+                started = time.perf_counter()
+                code = watcher.handle_change([str(path)])
+                elapsed = time.perf_counter() - started
+            finally:
+                path.write_text(original, encoding="utf-8")
+            assert code == 0
+            # reconcile the restore so the next repeat starts clean
+            restore = call(
+                "reload", socket_path=server.socket_path, timeout=600
+            )
+            assert restore["exit_code"] == 0
+            warm_runs.append({"seconds": elapsed})
+        # re-verify the restored source once so the cache ends coherent
+        frame = call(
+            "verify",
+            {"programs": [PROGRAM]},
+            socket_path=server.socket_path,
+            timeout=600,
+        )
+        assert frame["exit_code"] == 0
+    finally:
+        path.write_text(original, encoding="utf-8")
+        server.stop()
+
+    warm_seconds = min(run["seconds"] for run in warm_runs)
+    speedup = cold_seconds / warm_seconds
+    artifact = {
+        "program": PROGRAM,
+        "edit": f"{MODULE}:{TARGET}",
+        "cold_oneshot_seconds": round(cold_seconds, 4),
+        "warm_watch_cycle_seconds": round(warm_seconds, 4),
+        "warm_runs": [
+            {"seconds": round(run["seconds"], 4)} for run in warm_runs
+        ],
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "cold_repeats": COLD_REPEATS,
+        "warm_repeats": WARM_REPEATS,
+    }
+    emit(out_dir, "serve.json", json.dumps(artifact, indent=2))
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm daemon watch cycle ({warm_seconds:.2f}s) is only "
+        f"{speedup:.2f}x faster than a cold one-shot verify "
+        f"({cold_seconds:.2f}s); the gate is {MIN_SPEEDUP}x"
+    )

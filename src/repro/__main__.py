@@ -34,6 +34,12 @@ entry points.
   replay-confirmed delta debugging, and print the annotated failing
   interleavings (docs/OBSERVABILITY.md).  Exits 1 when witnesses were
   found, 0 when the program verifies cleanly (nothing to explain).
+* ``python -m repro serve`` — the resident verification daemon: keeps
+  the registry, static pre-pass, fingerprints and obligation cache warm
+  and answers versioned JSON requests over a Unix socket (optionally
+  HTTP); ``python -m repro watch`` adds the edit-triggered incremental
+  re-verification loop, and ``python -m repro client --op ...`` is the
+  one-shot RPC helper (docs/SERVING.md).
 
 ``lint``, ``race``, ``live``, ``verify``, ``profile`` and ``explain``
 share one
@@ -368,6 +374,99 @@ def _run_eval(args: argparse.Namespace) -> int:
     )
 
 
+def _build_server(args: argparse.Namespace):
+    """Shared serve/watch construction: session + daemon (not started)."""
+    from .serve import DaemonServer, Session
+
+    session = Session(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        trace_dir=args.trace_dir,
+    )
+    plan = None
+    if getattr(args, "inject", None):
+        from .engine import FaultPlan
+
+        plan = FaultPlan.parse(";".join(args.inject))
+    return DaemonServer(
+        session,
+        socket_path=args.socket,
+        http_port=args.http,
+        faults=plan,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the resident daemon until shutdown."""
+    from .engine import FaultSpecError
+    from .serve import ServeError
+
+    try:
+        server = _build_server(args)
+        server.start()
+    except FaultSpecError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    except ServeError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-serve: cannot bind {args.socket}: {exc}", file=sys.stderr)
+        return 3
+    import os
+
+    server.install_signal_handlers()
+    extra = ""
+    if server.http_address is not None:
+        extra = f" (http on {server.http_address[0]}:{server.http_address[1]})"
+    print(
+        f"repro-serve: pid {os.getpid()} listening on "
+        f"{server.socket_path}{extra}",
+        file=sys.stderr,
+    )
+    server.serve_forever()
+    print("repro-serve: shut down", file=sys.stderr)
+    return 0
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    """``repro watch``: daemon + poll → fingerprint diff → incremental
+    re-verify loop (docs/SERVING.md)."""
+    from .engine import FaultSpecError
+    from .serve import ServeError, Watcher
+
+    try:
+        server = _build_server(args)
+        server.start()
+    except FaultSpecError as exc:
+        print(f"repro-watch: {exc}", file=sys.stderr)
+        return 2
+    except ServeError as exc:
+        print(f"repro-watch: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-watch: cannot bind {args.socket}: {exc}", file=sys.stderr)
+        return 3
+    server.install_signal_handlers()
+    watcher = Watcher(
+        server,
+        paths=args.paths or [],
+        interval=args.interval,
+        report_path=args.report,
+        out=sys.stderr,
+    )
+    try:
+        return watcher.run(once=args.once, max_cycles=args.max_cycles)
+    finally:
+        server.stop()
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    from .serve.client import run_client
+
+    return run_client(args)
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -665,6 +764,145 @@ def main(argv: list[str] | None = None) -> int:
         help="max oracle replays per witness minimization (default: 500)",
     )
 
+    def add_daemon_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--socket",
+            default=None,
+            metavar="PATH",
+            help="Unix socket to serve on (default: serve.sock beside the "
+            "obligation cache)",
+        )
+        p.add_argument(
+            "--http",
+            type=int,
+            default=None,
+            metavar="PORT",
+            help="also speak line-delimited JSON over HTTP on "
+            "127.0.0.1:PORT (0 = pick a free port)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="default worker processes per verify request (default 1: "
+            "serial in-process, which keeps the static pre-pass resident)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="obligation cache location (default: .repro-cache/, or "
+            "$REPRO_CACHE_DIR)",
+        )
+        p.add_argument(
+            "--trace-dir",
+            default=None,
+            metavar="DIR",
+            help="write one Chrome-trace JSON per request under DIR",
+        )
+        p.add_argument(
+            "--inject",
+            action="append",
+            metavar="SPEC",
+            help="chaos harness for the daemon, e.g. 'verify:conndrop@1' "
+            "(drop the client connection before that request's final "
+            "response frame)",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the resident verification daemon (Unix socket, "
+        "optionally HTTP; see docs/SERVING.md)",
+    )
+    add_daemon_options(serve)
+
+    watch = sub.add_parser(
+        "watch",
+        help="run the daemon plus an edit-triggered incremental "
+        "re-verification loop (docs/SERVING.md)",
+    )
+    add_daemon_options(watch)
+    watch.add_argument(
+        "--paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help="extra files or directories to watch (default: every "
+        "registry program's source modules)",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="poll interval (default: 0.5)",
+    )
+    watch.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="append one NDJSON record per re-verification cycle to FILE",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after the first change batch is processed (CI smoke)",
+    )
+    watch.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N re-verification cycles",
+    )
+
+    client = sub.add_parser(
+        "client",
+        help="one-shot RPC against a running daemon "
+        "(e.g. `repro client --op status`)",
+    )
+    client.add_argument(
+        "--op",
+        required=True,
+        metavar="OP",
+        help="operation to request (verify, lint, race, live, deps, "
+        "status, reload, shutdown)",
+    )
+    client.add_argument(
+        "--program",
+        action="append",
+        metavar="NAME",
+        help="restrict the op to this registry program (repeatable)",
+    )
+    client.add_argument(
+        "--params",
+        default=None,
+        metavar="JSON",
+        help="extra request params as a JSON object, merged over "
+        "--program (e.g. '{\"incremental\": false}')",
+    )
+    client.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="daemon socket (default: serve.sock beside the obligation cache)",
+    )
+    client.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="give up waiting for the daemon after this long (default: 600)",
+    )
+    client.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text prints the result payload; json prints the whole "
+        "terminal frame (default: text)",
+    )
+
     evaluate = sub.add_parser("eval", help="run the full evaluation (default)")
     _add_engine_options(evaluate)
 
@@ -683,6 +921,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_profile(args)
     if args.command == "explain":
         return _run_explain(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "watch":
+        return _run_watch(args)
+    if args.command == "client":
+        return _run_client(args)
     if args.command == "eval":
         return _run_eval(args)
 

@@ -537,6 +537,7 @@ def _serial_results(
     pending: Sequence[WorkUnit],
     *,
     prepass: bool,
+    resident_prepass: Any = None,
     on_lease: Any = None,
     on_result: Any = None,
     should_stop: Any = None,
@@ -549,6 +550,12 @@ def _serial_results(
     ``should_stop`` checkpoint) returns the completed prefix with the
     rest marked ``interrupted`` — every completed unit was already
     delivered through ``on_result``, so the journal holds its verdict.
+
+    ``resident_prepass`` is a caller-owned
+    :class:`~repro.analysis.prepass.StaticPrepass` installed for the
+    duration instead of a throwaway one: the serve daemon passes its
+    resident fact store here so model sweeps amortize across *requests*,
+    not just across the obligations of one sweep.
     """
     results: dict[str, TaskResult] = {}
     interrupted = False
@@ -610,6 +617,15 @@ def _serial_results(
 
     if not prepass:
         run_all()
+    elif resident_prepass is not None:
+        from ..core.verify import get_prepass, set_prepass
+
+        previous = get_prepass()
+        set_prepass(resident_prepass)
+        try:
+            run_all()
+        finally:
+            set_prepass(previous)
     else:
         from ..analysis.prepass import static_prepass
 
@@ -668,6 +684,9 @@ def sweep(
     incremental: bool = False,
     max_rss_mb: float | None = None,
     max_disk_mb: float | None = None,
+    on_lease: Any = None,
+    on_result: Any = None,
+    resident_prepass: Any = None,
 ) -> SweepResult:
     """Verify ``programs``, replaying cached verdicts and fanning the rest
     out over ``jobs`` supervised worker processes (``None`` = one per
@@ -728,6 +747,15 @@ def sweep(
     are marked ``interrupted``, exit code 3, resumable.  The cap shrink
     is process-global and env-mirrored; already-forked pool workers keep
     their caps, so it is best-effort for work already in flight.
+
+    ``on_lease(unit_name, attempt, lease_seconds)`` and
+    ``on_result(TaskResult)`` are caller-side progress taps layered on
+    top of the journaling callbacks (best-effort: a raising callback is
+    swallowed, never the sweep) — the serve daemon streams them to its
+    clients as progress events.  ``resident_prepass`` installs a
+    caller-owned prepass on the ``jobs == 1`` path so static facts stay
+    warm across sweeps (see :func:`_serial_results`); it is ignored on
+    the pool path, where each worker owns its own prepass.
 
     The sweep always returns an outcome for every requested program:
     infrastructure faults quarantine a program (``status`` records what
@@ -1027,8 +1055,18 @@ def sweep(
                 sj.unit_leased(
                     name, unit.program, attempt=attempt, lease_seconds=lease
                 )
+            if on_lease is not None:
+                try:
+                    on_lease(name, attempt, lease)
+                except Exception:  # noqa: BLE001 - progress taps never stall units
+                    pass
 
         def _journal_result(result: TaskResult) -> None:
+            if on_result is not None:
+                try:
+                    on_result(result)
+                except Exception:  # noqa: BLE001 - progress taps never stall units
+                    pass
             unit = units_by_name.get(result.name)
             if sj is None or unit is None:
                 return
@@ -1058,6 +1096,7 @@ def sweep(
                         results, interrupted = _serial_results(
                             pending_units,
                             prepass=prepass,
+                            resident_prepass=resident_prepass,
                             on_lease=_journal_lease,
                             on_result=_journal_result,
                             should_stop=(
@@ -1307,6 +1346,9 @@ def run_sweep(
     incremental: bool = False,
     max_rss_mb: float | None = None,
     max_disk_mb: float | None = None,
+    on_lease: Any = None,
+    on_result: Any = None,
+    resident_prepass: Any = None,
 ) -> SweepResult:
     """Name-based front door: resolve registry rows, then :func:`sweep`."""
     return sweep(
@@ -1330,4 +1372,7 @@ def run_sweep(
         incremental=incremental,
         max_rss_mb=max_rss_mb,
         max_disk_mb=max_disk_mb,
+        on_lease=on_lease,
+        on_result=on_result,
+        resident_prepass=resident_prepass,
     )

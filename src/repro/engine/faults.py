@@ -39,6 +39,15 @@ Kinds
     ``unit:done`` journal record is appended — models a hard crash
     (kill -9, OOM, power loss) at a deterministic point.  The journal
     on disk must make the sweep resumable.
+``conndrop``
+    The serve daemon (:mod:`repro.serve`) hard-closes a client
+    connection right before the request's final response frame — models
+    a flaky network / a proxy timeout cutting the transport.  The
+    *client* sees a truncated stream; the daemon, its worker pool and
+    its resident state must stay healthy for the next request.  The
+    spec's program slot names the request ``op`` (e.g.
+    ``verify:conndrop``); attempts count per op within the daemon
+    process.
 
 Plans cross the :mod:`multiprocessing` pool boundary through the
 ``REPRO_FAULTS`` environment variable: the sweep installs the rendered
@@ -68,12 +77,16 @@ from dataclasses import dataclass, field
 ENV_FAULTS = "REPRO_FAULTS"
 
 #: Recognised fault kinds.
-KINDS = ("crash", "hang", "raise", "torn", "corrupt", "diskfull", "sigkill")
+KINDS = (
+    "crash", "hang", "raise", "torn", "corrupt", "diskfull", "sigkill",
+    "conndrop",
+)
 
 #: Which injection site each kind fires at: ``verify`` is the worker's
 #: verify call, ``cache`` the parent's cache store, ``disk`` any durable
 #: write (journal append or cache store), ``journal`` the parent's
-#: journal append of a completed unit.
+#: journal append of a completed unit, ``serve`` the daemon's response
+#: writer (:mod:`repro.serve.server`).
 SITES = {
     "crash": "verify",
     "hang": "verify",
@@ -82,6 +95,7 @@ SITES = {
     "corrupt": "cache",
     "diskfull": "disk",
     "sigkill": "journal",
+    "conndrop": "serve",
 }
 
 #: Exit status used by an injected ``crash`` (EX_SOFTWARE).
@@ -256,6 +270,15 @@ class FaultPlan:
         if self.spec_for(program, "journal", attempt) is not None:
             os.kill(os.getpid(), signal.SIGKILL)
 
+    def serve_fault(self, op: str) -> bool:
+        """Serve-site fault point (``conndrop``): whether the daemon
+        must hard-close the client connection before the final response
+        frame of this ``op`` request.  Attempts count per op in the
+        daemon process, so ``op:conndrop@1`` drops exactly the first
+        matching request and lets the retry through."""
+        attempt = self._next_attempt("serve", op)
+        return self.spec_for(op, "serve", attempt) is not None
+
 
 # -- the active plan ----------------------------------------------------------
 #
@@ -343,3 +366,10 @@ def maybe_sigkill(program: str) -> None:
     plan = active_plan()
     if plan is not None:
         plan.journal_fault(program)
+
+
+def maybe_conndrop(op: str) -> bool:
+    """Serve-side fault point: ``True`` iff the daemon must hard-close
+    the client connection before this request's final response frame."""
+    plan = active_plan()
+    return plan.serve_fault(op) if plan is not None else False

@@ -1,0 +1,190 @@
+"""The ``repro serve`` wire protocol: versioned, line-delimited JSON.
+
+One frame per line, UTF-8, ``\\n``-terminated.  Clients send *request*
+frames::
+
+    {"v": 1, "op": "verify", "id": "req-1", "params": {...}}
+
+and receive, in order, an ``ack`` frame, zero or more ``progress``
+frames, and exactly one terminal frame — ``result`` (the op ran; its
+payload embeds the shared 0/1/2/3 exit code) or ``error`` (the request
+never ran: malformed, oversized, unknown op, unknown program, or the
+daemon's resident framework state went stale).  All frames carry the
+protocol version ``v`` and echo the request ``id``, so two clients
+multiplexed through the daemon's session queue can never confuse their
+responses (each connection only ever sees frames for its own requests).
+
+The framing is deliberately dumb: no binary, no length prefixes, no
+pipelining guarantees beyond FIFO per connection.  A request line longer
+than :data:`MAX_REQUEST_BYTES` is rejected *before* parsing (the reader
+stops buffering at the cap), so a hostile or confused client cannot make
+the daemon allocate unbounded memory.  Responses in the other direction
+are unbounded — a registry-wide verify result is as large as it is.
+
+``docs/SERVING.md`` is the human-facing spec; tests/test_serve.py pins
+the edge cases (oversized, malformed, disconnect, concurrency).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Bump when a frame's meaning changes incompatibly.  The daemon rejects
+#: requests whose ``v`` is present and different; a missing ``v`` is
+#: accepted as "current" to keep hand-typed `socat` debugging pleasant.
+PROTOCOL_VERSION = 1
+
+#: Every operation the daemon understands, in docs/SERVING.md order.
+OPS = (
+    "verify",
+    "lint",
+    "race",
+    "live",
+    "deps",
+    "status",
+    "reload",
+    "shutdown",
+)
+
+#: Hard cap on one request line (bytes, newline included).  Requests are
+#: tiny — op + names + flags — so 1 MiB is three orders of magnitude of
+#: headroom while still bounding the reader's buffer.
+MAX_REQUEST_BYTES = 1 << 20
+
+#: ``error`` frame codes, mapped onto the CLI exit contract by
+#: :func:`error_exit_code`: usage-class errors exit 2, infrastructure-
+#: class errors exit 3.
+USAGE_ERRORS = ("malformed", "oversized", "bad-version", "unknown-op", "bad-request")
+INFRA_ERRORS = ("framework-changed", "internal", "shutting-down")
+
+
+class ProtocolError(Exception):
+    """A request the daemon refuses to run.  ``code`` is one of
+    :data:`USAGE_ERRORS`/:data:`INFRA_ERRORS`; ``request_id`` echoes the
+    offending request's id when one could be recovered."""
+
+    def __init__(self, code: str, message: str, request_id: str | None = None):
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request frame."""
+
+    op: str
+    id: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+def parse_request(line: bytes | str, *, fallback_id: str = "?") -> Request:
+    """Parse one request line, raising :class:`ProtocolError` (never
+    anything else) on every malformed shape a client can produce."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_REQUEST_BYTES:
+            raise ProtocolError(
+                "oversized",
+                f"request exceeds {MAX_REQUEST_BYTES} bytes",
+            )
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("malformed", f"request is not UTF-8: {exc}") from exc
+    try:
+        raw = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("malformed", f"request is not JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ProtocolError("malformed", "request frame must be a JSON object")
+    request_id = raw.get("id")
+    if request_id is None:
+        request_id = fallback_id
+    if not isinstance(request_id, str):
+        raise ProtocolError("malformed", "request 'id' must be a string")
+    version = raw.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad-version",
+            f"protocol version {version!r} unsupported (daemon speaks "
+            f"{PROTOCOL_VERSION})",
+            request_id,
+        )
+    op = raw.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(
+            "unknown-op",
+            f"unknown op {op!r} (expected one of {', '.join(OPS)})",
+            request_id,
+        )
+    params = raw.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError(
+            "bad-request", "request 'params' must be a JSON object", request_id
+        )
+    return Request(op=op, id=request_id, params=params)
+
+
+def encode(frame: dict[str, Any]) -> bytes:
+    """One frame as its wire bytes (compact JSON + newline)."""
+    return json.dumps(frame, separators=(",", ":"), default=str).encode() + b"\n"
+
+
+def ack_frame(request: Request, *, queued: int = 0) -> dict[str, Any]:
+    """The immediate receipt: the request parsed and is queued behind
+    ``queued`` earlier requests."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "ack",
+        "id": request.id,
+        "op": request.op,
+        "queued": queued,
+    }
+
+
+def progress_frame(request_id: str, event: str, **payload: Any) -> dict[str, Any]:
+    """A streamed progress event (``event`` is e.g. ``lease``/``unit``)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "progress",
+        "id": request_id,
+        "event": event,
+        **payload,
+    }
+
+
+def result_frame(
+    request_id: str, op: str, exit_code: int, payload: dict[str, Any]
+) -> dict[str, Any]:
+    """The terminal success frame: the op ran and this is its outcome.
+    ``exit_code`` follows the shared CLI contract (0 clean, 1 findings,
+    2 usage, 3 infrastructure)."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "result",
+        "id": request_id,
+        "op": op,
+        "exit_code": exit_code,
+        "payload": payload,
+    }
+
+
+def error_frame(
+    request_id: str | None, code: str, message: str
+) -> dict[str, Any]:
+    """The terminal failure frame: the request never (fully) ran."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "type": "error",
+        "id": request_id,
+        "code": code,
+        "message": message,
+        "exit_code": error_exit_code(code),
+    }
+
+
+def error_exit_code(code: str) -> int:
+    """Map an error-frame code onto the shared CLI exit contract."""
+    return 2 if code in USAGE_ERRORS else 3

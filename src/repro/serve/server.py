@@ -1,0 +1,439 @@
+"""The ``repro serve`` daemon: transport, session queue, lifecycle.
+
+Topology — three kinds of thread around one resident
+:class:`~repro.serve.session.Session`:
+
+* one **reader thread per connection**, parsing newline-delimited JSON
+  request frames (cap-enforced *while buffering*, so an oversized
+  request is rejected without ever being held in memory) and enqueueing
+  them;
+* one **dispatcher thread**, draining the session queue strictly FIFO —
+  this is the serialization point: however many clients are connected,
+  exactly one request executes at a time against the resident state, so
+  the session needs no locks and two clients can never interleave
+  verdicts;
+* optionally one **HTTP thread** (``--http PORT``): ``POST /`` with a
+  single request frame as the body returns the full frame stream as
+  ``application/x-ndjson`` — the same queue, the same serialization.
+
+Failure containment: a client disconnecting mid-request only marks its
+connection dead (frames for it are dropped; the sweep finishes and the
+pool stays healthy); a request that makes the session raise becomes an
+``error`` frame, never a daemon death.  The chaos hook
+(:func:`repro.engine.faults.maybe_conndrop`, spec ``OP:conndrop@N``)
+drops the connection right before a terminal frame — the injected
+version of the first failure.
+
+Stale-socket claim: binding a Unix socket whose path exists first
+connect-probes it.  A live daemon answers the probe → refuse to start
+(exit 2, never ``EADDRINUSE``).  A refused probe means nobody is
+listening; if the recorded pid (``<socket>.pid``) is dead or absent,
+the leftovers are cleaned up and the path claimed.
+
+``SIGHUP`` enqueues an internal ``reload`` request (equivalent to a
+client sending ``{"op": "reload"}``): re-fingerprint, hot-reload edited
+case studies, latch ``stale_framework`` on framework edits.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import socket
+import threading
+from pathlib import Path
+from typing import Any
+
+from .protocol import (
+    MAX_REQUEST_BYTES,
+    ProtocolError,
+    Request,
+    ack_frame,
+    encode,
+    error_frame,
+)
+from .session import Session
+
+
+class ServeError(Exception):
+    """Daemon startup refusal (usage-class: another daemon is live, bad
+    socket path...).  The CLI maps it to exit 2."""
+
+
+def default_socket_path(cache_dir: str | os.PathLike | None = None) -> Path:
+    """Default rendezvous: ``serve.sock`` beside the obligation cache."""
+    from ..engine.cache import default_cache_dir
+
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return root / "serve.sock"
+
+
+def _pidfile_for(socket_path: Path) -> Path:
+    return socket_path.parent / (socket_path.name + ".pid")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def claim_socket_path(socket_path: Path) -> None:
+    """Make ``socket_path`` bindable, or raise :class:`ServeError`.
+
+    A leftover socket from a killed daemon is detected (connect probe +
+    pid liveness) and removed; a *live* daemon is reported as such —
+    this function never lets ``bind`` fail with ``EADDRINUSE``.
+    """
+    if not socket_path.exists():
+        return
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(str(socket_path))
+    except OSError:
+        pass  # nobody listening: stale
+    else:
+        raise ServeError(
+            f"a daemon is already serving on {socket_path} "
+            "(use `repro client --op status`, or `--op shutdown` first)"
+        )
+    finally:
+        probe.close()
+    pidfile = _pidfile_for(socket_path)
+    try:
+        pid = int(pidfile.read_text().strip())
+    except (OSError, ValueError):
+        pid = None
+    if pid is not None and _pid_alive(pid):
+        raise ServeError(
+            f"socket {socket_path} is dead but pid {pid} (from {pidfile}) "
+            "is still running — refusing to steal its socket path"
+        )
+    socket_path.unlink(missing_ok=True)
+    pidfile.unlink(missing_ok=True)
+
+
+class _Connection:
+    """One client connection: socket + write lock + liveness flag."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.lock = threading.Lock()
+        self.alive = True
+
+    def send(self, frame: dict[str, Any]) -> bool:
+        """Best-effort frame write; a dead peer flips ``alive`` and the
+        frame is dropped (the request keeps running — its verdict still
+        lands in the cache)."""
+        if not self.alive:
+            return False
+        try:
+            with self.lock:
+                self.sock.sendall(encode(frame))
+            return True
+        except OSError:
+            self.alive = False
+            return False
+
+    def drop(self) -> None:
+        """Hard-close (RST-ish): the conndrop fault and reader teardown."""
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _NullConnection(_Connection):
+    """Sink for internally-generated requests (SIGHUP reload)."""
+
+    def __init__(self) -> None:  # no socket
+        self.lock = threading.Lock()
+        self.alive = True
+
+    def send(self, frame: dict[str, Any]) -> bool:  # noqa: ARG002
+        return True
+
+    def drop(self) -> None:
+        self.alive = False
+
+
+_STOP = object()
+
+
+class DaemonServer:
+    """The resident daemon: Unix-socket transport (plus optional HTTP)
+    around one serialized :class:`Session`."""
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        socket_path: str | os.PathLike | None = None,
+        http_port: int | None = None,
+        faults: Any = None,
+    ) -> None:
+        from ..engine.faults import FaultPlan
+
+        self.session = session
+        self.socket_path = Path(
+            socket_path
+            if socket_path is not None
+            else default_socket_path(session.cache_dir)
+        )
+        self.http_port = http_port
+        self.faults = (
+            FaultPlan.parse(faults) if isinstance(faults, str) else faults
+        )
+        self.queue: queue.Queue = queue.Queue()
+        self.stopped = threading.Event()
+        self._listener: socket.socket | None = None
+        self._httpd: Any = None
+        self._threads: list[threading.Thread] = []
+        self._auto_ids = 0
+        self._id_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Claim the socket, write the pidfile, start all threads."""
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        claim_socket_path(self.socket_path)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.socket_path))
+        listener.listen(16)
+        self._listener = listener
+        _pidfile_for(self.socket_path).write_text(f"{os.getpid()}\n")
+        self._spawn(self._dispatch_loop, "serve-dispatch")
+        self._spawn(self._accept_loop, "serve-accept")
+        if self.http_port is not None:
+            self._start_http()
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until shutdown."""
+        if self._listener is None:
+            self.start()
+        try:
+            self.stopped.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        if self.stopped.is_set() and self._listener is None:
+            return
+        self.stopped.set()
+        self.queue.put(_STOP)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        if self._httpd is not None:
+            try:
+                self._httpd.shutdown()
+            except Exception:  # noqa: BLE001
+                pass
+            self._httpd = None
+        self.socket_path.unlink(missing_ok=True)
+        _pidfile_for(self.socket_path).unlink(missing_ok=True)
+
+    def install_signal_handlers(self) -> None:
+        """SIGHUP → internal reload; SIGTERM → clean stop.  Main-thread
+        only (the CLI path); embedded servers (tests, watch) skip it."""
+        signal.signal(signal.SIGHUP, lambda *_: self.request_reload())
+        signal.signal(signal.SIGTERM, lambda *_: self.stop())
+
+    def request_reload(self) -> None:
+        """Enqueue a ``reload`` as if a client had asked (SIGHUP path)."""
+        self.queue.put(
+            (Request(op="reload", id="sighup"), _NullConnection())
+        )
+
+    # -- threads -------------------------------------------------------------
+
+    def _spawn(self, target: Any, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    def _next_auto_id(self) -> str:
+        with self._id_lock:
+            self._auto_ids += 1
+            return f"auto-{self._auto_ids}"
+
+    def _accept_loop(self) -> None:
+        while not self.stopped.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                sock, _ = listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            conn = _Connection(sock)
+            self._spawn(lambda c=conn: self._reader_loop(c), "serve-reader")
+
+    def _reader_loop(self, conn: _Connection) -> None:
+        """Parse one connection's request stream; enqueue each request.
+
+        The byte cap is enforced *while buffering*: a line that exceeds
+        :data:`~repro.serve.protocol.MAX_REQUEST_BYTES` gets an
+        ``oversized`` error and the connection is closed without the
+        daemon ever holding the full payload.
+        """
+        buffer = bytearray()
+        while not self.stopped.is_set():
+            try:
+                chunk = conn.sock.recv(65536)
+            except OSError:
+                break
+            if not chunk:
+                break
+            buffer.extend(chunk)
+            if len(buffer) > MAX_REQUEST_BYTES and b"\n" not in buffer:
+                conn.send(
+                    error_frame(
+                        None,
+                        "oversized",
+                        f"request exceeds {MAX_REQUEST_BYTES} bytes",
+                    )
+                )
+                conn.drop()
+                return
+            while b"\n" in buffer:
+                line, _, rest = bytes(buffer).partition(b"\n")
+                buffer = bytearray(rest)
+                if not line.strip():
+                    continue
+                self._handle_line(conn, line)
+        conn.drop()
+
+    def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        try:
+            request = _parse(line, fallback_id=self._next_auto_id())
+        except ProtocolError as exc:
+            conn.send(error_frame(exc.request_id, exc.code, str(exc)))
+            if exc.code == "oversized":
+                conn.drop()
+            return
+        conn.send(ack_frame(request, queued=self.queue.qsize()))
+        self.queue.put((request, conn))
+
+    def _dispatch_loop(self) -> None:
+        from ..engine.faults import maybe_conndrop, plan_installed
+
+        with plan_installed(self.faults):
+            while True:
+                item = self.queue.get()
+                if item is _STOP:
+                    return
+                request, conn = item
+                frame = self.session.dispatch(request, conn.send)
+                if maybe_conndrop(request.op):
+                    conn.drop()  # chaos: vanish before the terminal frame
+                else:
+                    conn.send(frame)
+                if request.op == "shutdown" and frame.get("type") == "result":
+                    self.stop()
+                    return
+
+    # -- optional HTTP transport ----------------------------------------------
+
+    def _start_http(self) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, *args: Any) -> None:  # noqa: ARG002
+                pass  # the daemon is quiet; traces carry the telemetry
+
+            def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+                length = int(self.headers.get("Content-Length", 0))
+                if length > MAX_REQUEST_BYTES:
+                    self._reply(
+                        413,
+                        [
+                            error_frame(
+                                None,
+                                "oversized",
+                                f"request exceeds {MAX_REQUEST_BYTES} bytes",
+                            )
+                        ],
+                    )
+                    return
+                body = self.rfile.read(length)
+                try:
+                    request = _parse(body, fallback_id=server._next_auto_id())
+                except ProtocolError as exc:
+                    self._reply(
+                        400, [error_frame(exc.request_id, exc.code, str(exc))]
+                    )
+                    return
+                collector = _HttpConnection()
+                collector.send(ack_frame(request, queued=server.queue.qsize()))
+                server.queue.put((request, collector))
+                collector.done.wait(timeout=600.0)
+                self._reply(200, collector.frames)
+
+            def _reply(self, code: int, frames: list[dict[str, Any]]) -> None:
+                body = b"".join(encode(f) for f in frames)
+                self.send_response(code)
+                self.send_header("Content-Type", "application/x-ndjson")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", self.http_port), Handler)
+        self._spawn(self._httpd.serve_forever, "serve-http")
+
+    @property
+    def http_address(self) -> tuple[str, int] | None:
+        """The bound HTTP address (port 0 resolves after ``start``)."""
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[:2]
+
+
+class _HttpConnection(_Connection):
+    """Collects a request's frame stream for a blocking HTTP response."""
+
+    def __init__(self) -> None:  # no socket
+        self.lock = threading.Lock()
+        self.alive = True
+        self.frames: list[dict[str, Any]] = []
+        self.done = threading.Event()
+
+    def send(self, frame: dict[str, Any]) -> bool:
+        with self.lock:
+            self.frames.append(frame)
+        if frame.get("type") in ("result", "error"):
+            self.done.set()
+        return True
+
+    def drop(self) -> None:
+        self.alive = False
+        self.done.set()
+
+
+def _parse(line: bytes, *, fallback_id: str) -> Request:
+    from .protocol import parse_request
+
+    return parse_request(line, fallback_id=fallback_id)

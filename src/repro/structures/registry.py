@@ -289,6 +289,20 @@ def registry_programs() -> tuple[ProgramInfo, ...]:
     return all_programs() + demo_programs()
 
 
+def reset_registry() -> None:
+    """Drop the memoized registry rows so the next access rebuilds them.
+
+    The serve daemon calls this after hot-reloading an edited case-study
+    module: ``_build_registry`` re-imports the verifier entry points at
+    call time, so a rebuild picks up the reloaded function objects while
+    everything holding the *registry accessors* (engine, analysis) stays
+    valid — only the cached rows were stale.
+    """
+    global _REGISTRY, _DEMOS
+    _REGISTRY = None
+    _DEMOS = None
+
+
 def program(name: str) -> ProgramInfo:
     for info in registry_programs():
         if info.name == name:

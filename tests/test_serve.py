@@ -1,0 +1,450 @@
+"""The serve subsystem: protocol edges, daemon lifecycle, equivalence.
+
+Covers the guarantees docs/SERVING.md makes:
+
+* framing edge cases — oversized requests are rejected before they are
+  buffered, malformed JSON gets an ``error`` frame (never a daemon
+  death), a client disconnecting mid-request leaves the daemon healthy,
+  and two concurrent clients get isolated responses;
+* stale-socket claim — a killed daemon's leftovers are cleaned up,
+  a live daemon is refused (never ``EADDRINUSE``);
+* the chaos hook — ``OP:conndrop@N`` drops the connection before the
+  terminal frame and the retry is served;
+* hot-reload — an edited case study reloads, a framework edit latches
+  ``stale_framework`` and analysis ops are refused;
+* the equivalence gate — a warm daemon's ``verify`` returns verdicts,
+  violation kinds and witnesses identical to a one-shot sweep.  Tier-1
+  runs it over a representative subset (the repo's test_incremental
+  precedent); the CI serve job sets ``REPRO_SERVE_FULL_EQUIV=1`` to
+  sweep every registry program including the failing demo rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    MAX_REQUEST_BYTES,
+    ClientError,
+    DaemonServer,
+    ServeError,
+    Session,
+    call,
+    claim_socket_path,
+)
+from repro.serve.protocol import ProtocolError, error_exit_code, parse_request
+from repro.serve.watcher import Watcher
+
+STRUCTURES = Path(__file__).resolve().parents[1] / "src" / "repro" / "structures"
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """An in-process daemon on a fresh socket + fresh cache dir."""
+    session = Session(cache_dir=str(tmp_path / "cache"))
+    server = DaemonServer(session, socket_path=tmp_path / "serve.sock")
+    server.start()
+    yield server
+    server.stop()
+
+
+def _raw_frames(socket_path, payload: bytes, *, count: int = 1, timeout=10.0):
+    """Send raw bytes, read ``count`` frames (or until EOF)."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(str(socket_path))
+    try:
+        sock.sendall(payload)
+        buffer = b""
+        frames = []
+        while len(frames) < count:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+            while b"\n" in buffer and len(frames) < count:
+                line, _, buffer = buffer.partition(b"\n")
+                if line.strip():
+                    frames.append(json.loads(line))
+        return frames
+    finally:
+        sock.close()
+
+
+# -- protocol unit tests --------------------------------------------------------
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        req = parse_request(b'{"v": 1, "op": "status", "id": "a", "params": {}}')
+        assert (req.op, req.id, req.params) == ("status", "a", {})
+
+    def test_missing_id_gets_fallback(self):
+        assert parse_request(b'{"op": "status"}', fallback_id="auto-7").id == "auto-7"
+
+    @pytest.mark.parametrize(
+        ("line", "code"),
+        [
+            (b"garbage", "malformed"),
+            (b"[1, 2]", "malformed"),
+            (b'{"op": "status", "id": 7}', "malformed"),
+            (b'{"op": "nope"}', "unknown-op"),
+            (b'{"op": 12}', "unknown-op"),
+            (b'{"op": "status", "v": 99}', "bad-version"),
+            (b'{"op": "status", "params": []}', "bad-request"),
+        ],
+    )
+    def test_rejections(self, line, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(line)
+        assert err.value.code == code
+
+    def test_oversized_rejected_before_parse(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(b"x" * (MAX_REQUEST_BYTES + 1))
+        assert err.value.code == "oversized"
+
+    def test_exit_contract(self):
+        assert error_exit_code("malformed") == 2
+        assert error_exit_code("unknown-op") == 2
+        assert error_exit_code("bad-request") == 2
+        assert error_exit_code("framework-changed") == 3
+        assert error_exit_code("internal") == 3
+
+
+# -- daemon basics --------------------------------------------------------------
+
+
+class TestDaemon:
+    def test_status_roundtrip(self, daemon):
+        frame = call("status", socket_path=daemon.socket_path)
+        assert frame["type"] == "result"
+        assert frame["exit_code"] == 0
+        payload = frame["payload"]
+        assert payload["pid"] == os.getpid()
+        assert payload["programs"] >= 11
+        assert payload["stale_framework"] is False
+
+    def test_malformed_json_gets_error_daemon_survives(self, daemon):
+        frames = _raw_frames(daemon.socket_path, b"this is not json\n")
+        assert frames[0]["type"] == "error"
+        assert frames[0]["code"] == "malformed"
+        assert frames[0]["exit_code"] == 2
+        # the daemon is still alive and serving
+        assert call("status", socket_path=daemon.socket_path)["exit_code"] == 0
+
+    def test_oversized_request_rejected_never_buffered(self, daemon):
+        blob = b"x" * (MAX_REQUEST_BYTES + 64)  # no newline: a stream bomb
+        frames = _raw_frames(daemon.socket_path, blob)
+        assert frames[0]["type"] == "error"
+        assert frames[0]["code"] == "oversized"
+        assert call("status", socket_path=daemon.socket_path)["exit_code"] == 0
+
+    def test_unknown_op_is_usage_error(self, daemon):
+        frames = _raw_frames(daemon.socket_path, b'{"op": "frobnicate"}\n')
+        assert frames[0]["code"] == "unknown-op"
+        assert frames[0]["exit_code"] == 2
+
+    def test_unknown_program_is_usage_error(self, daemon):
+        frame = call(
+            "verify", {"programs": ["No such"]}, socket_path=daemon.socket_path
+        )
+        assert frame["type"] == "error"
+        assert frame["code"] == "bad-request"
+        assert frame["exit_code"] == 2
+
+    def test_ack_precedes_result(self, daemon):
+        events = []
+        frame = call("status", socket_path=daemon.socket_path, on_event=events.append)
+        assert events and events[0]["type"] == "ack"
+        assert events[0]["id"] == frame["id"]
+
+    def test_mid_request_disconnect_leaves_daemon_healthy(self, daemon):
+        # Fire a verify and slam the connection shut without reading.
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(str(daemon.socket_path))
+        sock.sendall(
+            b'{"op": "verify", "id": "doomed", '
+            b'"params": {"programs": ["Pair snapshot"]}}\n'
+        )
+        sock.close()
+        # The request still runs to completion; its verdict lands in the
+        # cache, so a well-behaved client gets a warm hit right after.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            frame = call(
+                "verify",
+                {"programs": ["Pair snapshot"]},
+                socket_path=daemon.socket_path,
+            )
+            assert frame["type"] == "result"
+            if frame["payload"]["programs"][0]["cached"]:
+                return
+            time.sleep(0.2)
+        pytest.fail("the disconnected request's verdict never reached the cache")
+
+    def test_two_concurrent_clients_are_isolated(self, daemon):
+        results: dict[str, dict] = {}
+        errors: list[Exception] = []
+
+        def client(name: str, op: str, params: dict) -> None:
+            events: list[dict] = []
+            try:
+                frame = call(
+                    op,
+                    params,
+                    socket_path=daemon.socket_path,
+                    on_event=events.append,
+                )
+            except Exception as exc:  # noqa: BLE001 - surface in main thread
+                errors.append(exc)
+                return
+            ids = {e["id"] for e in events} | {frame["id"]}
+            results[name] = {"frame": frame, "ids": ids}
+
+        threads = [
+            threading.Thread(
+                target=client,
+                args=("a", "verify", {"programs": ["Pair snapshot"]}),
+            ),
+            threading.Thread(target=client, args=("b", "status", {})),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        assert results["a"]["frame"]["op"] == "verify"
+        assert results["b"]["frame"]["op"] == "status"
+        # every frame a client saw carried its own request id
+        assert len(results["a"]["ids"]) == 1
+        assert len(results["b"]["ids"]) == 1
+        assert results["a"]["ids"] != results["b"]["ids"]
+
+    def test_shutdown_op_stops_and_unlinks(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path / "cache"))
+        server = DaemonServer(session, socket_path=tmp_path / "serve.sock")
+        server.start()
+        assert call("shutdown", socket_path=server.socket_path)["exit_code"] == 0
+        assert server.stopped.wait(timeout=10)
+        time.sleep(0.1)
+        assert not server.socket_path.exists()
+
+
+# -- stale-socket claim ---------------------------------------------------------
+
+
+class TestSocketClaim:
+    def test_leftover_socket_with_dead_pid_is_reclaimed(self, tmp_path):
+        path = tmp_path / "serve.sock"
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(str(path))  # bound but never listened/closed: dead
+        stale.close()
+        # a pid that certainly exited: our own child
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        (tmp_path / "serve.sock.pid").write_text(f"{pid}\n")
+        claim_socket_path(path)
+        assert not path.exists()
+        assert not (tmp_path / "serve.sock.pid").exists()
+
+    def test_leftover_socket_without_pidfile_is_reclaimed(self, tmp_path):
+        path = tmp_path / "serve.sock"
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(str(path))
+        stale.close()
+        claim_socket_path(path)
+        assert not path.exists()
+
+    def test_live_daemon_is_refused_not_eaddrinuse(self, daemon, tmp_path):
+        with pytest.raises(ServeError, match="already serving"):
+            claim_socket_path(daemon.socket_path)
+        # and a second DaemonServer on the same path refuses to start
+        second = DaemonServer(
+            Session(cache_dir=str(tmp_path / "cache2")),
+            socket_path=daemon.socket_path,
+        )
+        with pytest.raises(ServeError):
+            second.start()
+
+
+# -- chaos: the conndrop transport fault ----------------------------------------
+
+
+class TestConndrop:
+    def test_conndrop_drops_then_retry_is_served(self, tmp_path):
+        session = Session(cache_dir=str(tmp_path / "cache"))
+        server = DaemonServer(
+            session,
+            socket_path=tmp_path / "serve.sock",
+            faults="status:conndrop@1",
+        )
+        server.start()
+        try:
+            with pytest.raises(ClientError):
+                call("status", socket_path=server.socket_path, timeout=10)
+            frame = call("status", socket_path=server.socket_path, timeout=10)
+            assert frame["exit_code"] == 0
+            # both attempts were dispatched (the drop was post-dispatch)
+            assert frame["payload"]["requests"]["status"] == 2
+        finally:
+            server.stop()
+
+    def test_conndrop_spec_parses_in_fault_grammar(self):
+        from repro.engine.faults import FaultPlan
+
+        plan = FaultPlan.parse("verify:conndrop@2")
+        assert plan.serve_fault("verify") is False  # attempt 1
+        assert plan.serve_fault("verify") is True  # attempt 2
+        assert plan.serve_fault("verify") is False  # attempt 3
+        assert plan.serve_fault("status") is False  # other op untouched
+
+
+# -- hot-reload + the framework soundness latch ---------------------------------
+
+
+class TestReload:
+    def test_structures_edit_hot_reloads_and_marks_stale(self, daemon):
+        target = STRUCTURES / "locks" / "demo.py"
+        original = target.read_text(encoding="utf-8")
+        # baseline: imports + fingerprints resident
+        call("status", socket_path=daemon.socket_path)
+        daemon.session.refresh_fingerprints()
+        try:
+            target.write_text(original + "\n# serve-reload-probe\n", encoding="utf-8")
+            frame = call("reload", socket_path=daemon.socket_path)
+            assert frame["exit_code"] == 0
+            assert "repro.structures.locks.demo" in frame["payload"]["reloaded"]
+            stale = set(frame["payload"]["stale_programs"])
+            assert {"Two-lock demo", "Unfair lock demo"} <= stale
+            assert frame["payload"]["stale_framework"] is False
+        finally:
+            target.write_text(original, encoding="utf-8")
+            call("reload", socket_path=daemon.socket_path)
+
+    def test_framework_stale_latch_refuses_analysis_ops(self, daemon):
+        daemon.session.tracker.stale_framework = True
+        frame = call(
+            "verify", {"programs": ["Pair snapshot"]}, socket_path=daemon.socket_path
+        )
+        assert frame["type"] == "error"
+        assert frame["code"] == "framework-changed"
+        assert frame["exit_code"] == 3
+        # status and shutdown stay available
+        assert call("status", socket_path=daemon.socket_path)["exit_code"] == 0
+
+
+# -- the watch loop -------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestWatch:
+    def test_edit_triggers_incremental_stale_cone_reverify(self, daemon, tmp_path):
+        # warm the cache through the daemon
+        frame = call(
+            "verify",
+            {"programs": ["Pair snapshot"]},
+            socket_path=daemon.socket_path,
+            timeout=300,
+        )
+        assert frame["exit_code"] == 0
+        report = tmp_path / "watch.ndjson"
+        watcher = Watcher(daemon, report_path=str(report), out=None)
+        daemon.session.refresh_fingerprints()
+        target = STRUCTURES / "pair_snapshot.py"
+        original = target.read_text(encoding="utf-8")
+        try:
+            target.write_text(original + "\n# watch-probe\n", encoding="utf-8")
+            code = watcher.handle_change([str(target)])
+        finally:
+            target.write_text(original, encoding="utf-8")
+            call("reload", socket_path=daemon.socket_path)
+        assert code == 0
+        record = json.loads(report.read_text().strip().splitlines()[-1])
+        assert record["stale"] == ["Pair snapshot"]
+        assert record["exit_code"] == 0
+        # the stale set is a strict subset of the registry: the cycle
+        # re-verified one program, not the world
+        from repro.structures.registry import registry_programs
+
+        assert len(record["stale"]) < len(registry_programs())
+        assert record["reverified"] <= record["total"]
+
+    def test_untouched_fingerprints_mean_no_reverify(self, daemon, tmp_path):
+        watcher = Watcher(daemon, out=None)
+        daemon.session.refresh_fingerprints()
+        # a watched-path change that moves no program fingerprint
+        code = watcher.handle_change([str(tmp_path / "unrelated.py")])
+        assert code == 0
+        assert watcher.cycles == 1
+
+
+# -- the equivalence gate -------------------------------------------------------
+
+
+def _equiv_programs() -> list[str]:
+    """Tier-1 gates a representative subset (the test_incremental
+    precedent); CI's serve job sets REPRO_SERVE_FULL_EQUIV=1 to sweep
+    every registry program including the failing demo rows."""
+    if os.environ.get("REPRO_SERVE_FULL_EQUIV"):
+        from repro.structures.registry import registry_programs
+
+        return [info.name for info in registry_programs()]
+    return ["CAS-lock", "Pair snapshot", "Unfair lock demo"]
+
+
+def _comparable(program_dict: dict) -> dict:
+    """The verdict-bearing slice of one program's outcome dict: verdicts,
+    per-category counts, violation kinds and witnesses — everything the
+    equivalence gate pins; wall times and cache provenance may differ."""
+    return {
+        "program": program_dict["program"],
+        "ok": program_dict["ok"],
+        "status": program_dict["status"],
+        "obligations": program_dict["obligations"],
+        "prepass_skips": program_dict["prepass_skips"],
+        "failures": [
+            {k: v for k, v in failure.items() if k != "seconds"}
+            for failure in program_dict["failures"]
+        ],
+    }
+
+
+@pytest.mark.slow
+class TestEquivalence:
+    def test_warm_daemon_verdicts_match_oneshot(self, daemon):
+        from repro.engine import run_sweep
+
+        names = _equiv_programs()
+        oneshot = run_sweep(names=names, jobs=1, cache=False, journal=False)
+        reference = {
+            p["program"]: _comparable(p) for p in oneshot.to_dict()["programs"]
+        }
+        # prime the daemon (first pass), then gate the *warm* pass
+        call(
+            "verify",
+            {"programs": names},
+            socket_path=daemon.socket_path,
+            timeout=600,
+        )
+        frame = call(
+            "verify",
+            {"programs": names},
+            socket_path=daemon.socket_path,
+            timeout=600,
+        )
+        assert frame["type"] == "result"
+        warm = {
+            p["program"]: _comparable(p) for p in frame["payload"]["programs"]
+        }
+        assert warm == reference
+        assert frame["exit_code"] == oneshot.exit_code()
